@@ -1,0 +1,417 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation, one Benchmark per artifact, plus ablation benches
+// for the design choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks intentionally use scaled-down parameters (documented per bench)
+// so a full sweep finishes on a laptop; the cmd/ binaries expose the same
+// runners with paper-scale flags. Custom metrics are reported through
+// b.ReportMetric so the paper's quantities (χ, AUC, MiB) appear directly in
+// the benchmark output.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/mps"
+	"repro/internal/svm"
+)
+
+// benchData builds scaled, rescaled feature rows for simulator benches. The
+// scaler is always fitted on ≥32 samples so the min-max statistics are
+// representative even when only a handful of rows are requested.
+func benchData(b *testing.B, n, features int) [][]float64 {
+	b.Helper()
+	fit := n
+	if fit < 32 {
+		fit = 32
+	}
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: features, NumIllicit: fit, NumLicit: fit, Seed: 1,
+	})
+	sc, err := dataset.FitScaler(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled, err := sc.Transform(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scaled.X[:n]
+}
+
+func simulateOne(b *testing.B, a circuit.Ansatz, x []float64, be backend.Backend) *mps.MPS {
+	b.Helper()
+	c, err := a.BuildRouted(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := mps.NewZeroState(a.Qubits, mps.Config{Backend: be})
+	if err := st.ApplyCircuit(c); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// --- Fig. 5a: MPS simulation time, serial vs parallel backend -------------
+// Paper: m=100, r=2, γ=1.0, d swept 2..12. Here: m=32, d=3 (a point in the
+// middle of the sweep, χ≈60); see cmd/crossover for the full sweep and the
+// crossover point itself.
+
+func BenchmarkFig5SimulationSerial(b *testing.B) {
+	a := circuit.Ansatz{Qubits: 32, Layers: 2, Distance: 3, Gamma: 1.0}
+	x := benchData(b, 1, 32)[0]
+	b.ReportAllocs()
+	var chi int
+	for i := 0; i < b.N; i++ {
+		st := simulateOne(b, a, x, backend.NewSerial())
+		chi = st.MaxBond()
+	}
+	b.ReportMetric(float64(chi), "χ")
+}
+
+func BenchmarkFig5SimulationParallel(b *testing.B) {
+	a := circuit.Ansatz{Qubits: 32, Layers: 2, Distance: 3, Gamma: 1.0}
+	x := benchData(b, 1, 32)[0]
+	b.ReportAllocs()
+	var chi int
+	for i := 0; i < b.N; i++ {
+		st := simulateOne(b, a, x, backend.NewParallel(0))
+		chi = st.MaxBond()
+	}
+	b.ReportMetric(float64(chi), "χ")
+}
+
+// --- Fig. 5b: inner-product time, serial vs parallel backend --------------
+
+func benchInner(b *testing.B, be backend.Backend) {
+	a := circuit.Ansatz{Qubits: 32, Layers: 2, Distance: 3, Gamma: 1.0}
+	rows := benchData(b, 2, 32)
+	s1 := simulateOne(b, a, rows[0], backend.NewSerial())
+	s2 := simulateOne(b, a, rows[1], backend.NewSerial())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = mps.InnerWith(s1, s2, be)
+	}
+}
+
+func BenchmarkFig5InnerProductSerial(b *testing.B)   { benchInner(b, backend.NewSerial()) }
+func BenchmarkFig5InnerProductParallel(b *testing.B) { benchInner(b, backend.NewParallel(0)) }
+
+// --- Table I: bond dimension growth with interaction distance -------------
+
+func BenchmarkTable1BondDimensions(b *testing.B) {
+	rows := benchData(b, 1, 24)
+	b.ReportAllocs()
+	var chi2, chi3 int
+	for i := 0; i < b.N; i++ {
+		st2 := simulateOne(b, circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 2, Gamma: 1.0}, rows[0], backend.NewSerial())
+		st3 := simulateOne(b, circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 3, Gamma: 1.0}, rows[0], backend.NewSerial())
+		chi2, chi3 = st2.MaxBond(), st3.MaxBond()
+	}
+	b.ReportMetric(float64(chi2), "χ(d=2)")
+	b.ReportMetric(float64(chi3), "χ(d=3)")
+}
+
+// --- Fig. 6: memory evolution during simulation ---------------------------
+
+func BenchmarkFig6MemoryEvolution(b *testing.B) {
+	a := circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 3, Gamma: 1.0}
+	x := benchData(b, 1, 24)[0]
+	c, err := a.BuildRouted(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		st := mps.NewZeroState(a.Qubits, mps.Config{RecordMemory: true})
+		if err := st.ApplyCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+		peak = 0
+		for _, s := range st.Ledger {
+			if s.Bytes > peak {
+				peak = s.Bytes
+			}
+		}
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "peak-MiB")
+}
+
+// --- Fig. 7: simulation time vs qubit count -------------------------------
+// One bench per qubit count via sub-benchmarks; γ=0.5 (the paper's slowest).
+
+func BenchmarkFig7QubitScaling(b *testing.B) {
+	for _, m := range []int{16, 32, 64, 128} {
+		m := m
+		b.Run(benchName("qubits", m), func(b *testing.B) {
+			a := circuit.Ansatz{Qubits: m, Layers: 2, Distance: 2, Gamma: 0.5}
+			x := benchData(b, 1, m)[0]
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				simulateOne(b, a, x, backend.NewSerial())
+			}
+		})
+	}
+}
+
+// --- Fig. 8: distributed Gram computation, round-robin --------------------
+// Doubling data size with doubling processes; sim wall should stay ≈flat,
+// inner wall should ≈double (run both sub-benches and compare).
+
+func BenchmarkFig8RuntimeBreakdown(b *testing.B) {
+	for _, step := range []experiments.Fig8Step{{DataSize: 32, Procs: 2}, {DataSize: 64, Procs: 4}} {
+		step := step
+		b.Run(benchName("n", step.DataSize), func(b *testing.B) {
+			rows := benchData(b, step.DataSize, 32)
+			q := &kernel.Quantum{Ansatz: circuit.Ansatz{Qubits: 32, Layers: 2, Distance: 1, Gamma: 0.1}}
+			b.ReportAllocs()
+			var sim, inner time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := dist.ComputeGram(q, rows, step.Procs, dist.RoundRobin)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim, inner, _ = res.MaxPhaseTimes()
+			}
+			b.ReportMetric(sim.Seconds(), "sim-wall-s")
+			b.ReportMetric(inner.Seconds(), "inner-wall-s")
+		})
+	}
+}
+
+// --- Figs. 9–10: model quality scaling -------------------------------------
+// A single small cell (the full grid is cmd/qmlscaling); reports AUC.
+
+func BenchmarkFig9Fig10AUCScaling(b *testing.B) {
+	b.ReportAllocs()
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9Fig10(experiments.QMLParams{
+			SampleSizes: []int{40},
+			FeatureGrid: []int{12},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc = res.TestAUCAt(40, 12)
+	}
+	b.ReportMetric(auc, "test-AUC")
+}
+
+// --- Table II: quantum kernel grid vs Gaussian -----------------------------
+
+func BenchmarkTable2KernelComparison(b *testing.B) {
+	b.ReportAllocs()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTableII(experiments.TableIIParams{
+			Features:  10,
+			DataSize:  48,
+			Distances: []int{1},
+			Gammas:    []float64{0.5},
+			Runs:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.Rows[1].Metrics.AUC - res.Rows[0].Metrics.AUC
+	}
+	b.ReportMetric(gap, "quantum-minus-gaussian-AUC")
+}
+
+// --- Table III: depth ablation ---------------------------------------------
+
+func BenchmarkTable3DepthAblation(b *testing.B) {
+	b.ReportAllocs()
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTableIII(experiments.TableIIIParams{
+			Features: 10,
+			DataSize: 48,
+			Depths:   []int{2, 12},
+			Runs:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drop = res.Rows[0].Metrics.AUC - res.Rows[1].Metrics.AUC
+	}
+	b.ReportMetric(drop, "shallow-minus-deep-AUC")
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// Truncation-budget sweep: tighter budgets keep more singular values and
+// cost more; the default 1e-16 is "virtually noiseless" (paper eq. 8).
+func BenchmarkAblationTruncationBudget(b *testing.B) {
+	a := circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 3, Gamma: 1.0}
+	x := benchData(b, 1, 24)[0]
+	c, err := a.BuildRouted(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name   string
+		budget float64
+	}{
+		{"budget=1e-16", 1e-16},
+		{"budget=1e-8", 1e-8},
+		{"budget=1e-4", 1e-4},
+		{"budget=1e-2", 1e-2},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var chi int
+			var terr float64
+			for i := 0; i < b.N; i++ {
+				st := mps.NewZeroState(a.Qubits, mps.Config{TruncationBudget: cfg.budget})
+				if err := st.ApplyCircuit(c); err != nil {
+					b.Fatal(err)
+				}
+				chi = st.MaxBond()
+				terr = st.TruncationError
+			}
+			b.ReportMetric(float64(chi), "χ")
+			b.ReportMetric(terr, "trunc-err")
+		})
+	}
+}
+
+// SWAP-routing overhead: the same logical circuit at growing interaction
+// distance; gate count (and hence runtime) grows with the 2(k−1) SWAPs.
+func BenchmarkAblationRoutingOverhead(b *testing.B) {
+	x := benchData(b, 1, 24)[0]
+	for _, d := range []int{1, 2, 3} {
+		d := d
+		b.Run(benchName("d", d), func(b *testing.B) {
+			a := circuit.Ansatz{Qubits: 24, Layers: 2, Distance: d, Gamma: 0.5}
+			b.ReportAllocs()
+			var swaps int
+			for i := 0; i < b.N; i++ {
+				c, err := a.BuildRouted(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				swaps = c.Stats().Swaps
+				st := mps.NewZeroState(a.Qubits, mps.Config{})
+				if err := st.ApplyCircuit(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(swaps), "swaps")
+		})
+	}
+}
+
+// Distribution-strategy ablation: round-robin vs no-messaging total
+// simulation cost on the same workload.
+func BenchmarkAblationDistStrategies(b *testing.B) {
+	rows := benchData(b, 24, 16)
+	q := &kernel.Quantum{Ansatz: circuit.Ansatz{Qubits: 16, Layers: 1, Distance: 1, Gamma: 0.5}}
+	for _, strat := range []dist.Strategy{dist.NoMessaging, dist.RoundRobin} {
+		strat := strat
+		b.Run(strat.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var simulated int
+			for i := 0; i < b.N; i++ {
+				res, err := dist.ComputeGram(q, rows, 4, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simulated = 0
+				for _, p := range res.Procs {
+					simulated += p.StatesSimulated
+				}
+			}
+			b.ReportMetric(float64(simulated), "states-simulated")
+		})
+	}
+}
+
+// Canonicalization-policy ablation (paper footnote 2): centre maintenance
+// costs QR sweeps but keeps truncation optimal; skipping it changes cost and
+// (under aggressive budgets) bond dimension.
+func BenchmarkAblationCanonicalization(b *testing.B) {
+	x := benchData(b, 1, 24)[0]
+	a := circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 3, Gamma: 0.8}
+	c, err := a.BuildRouted(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		skip bool
+	}{
+		{"canonical", false},
+		{"skip", true},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var chi int
+			for i := 0; i < b.N; i++ {
+				st := mps.NewZeroState(a.Qubits, mps.Config{SkipCanonicalization: cfg.skip})
+				if err := st.ApplyCircuit(c); err != nil {
+					b.Fatal(err)
+				}
+				chi = st.MaxBond()
+			}
+			b.ReportMetric(float64(chi), "χ")
+		})
+	}
+}
+
+// SMO solver cost on a quantum Gram matrix.
+func BenchmarkSVMTrain(b *testing.B) {
+	rows := benchData(b, 64, 12)
+	q := &kernel.Quantum{Ansatz: circuit.Ansatz{Qubits: 12, Layers: 2, Distance: 1, Gamma: 0.5}}
+	gram, err := q.Gram(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := make([]int, len(rows))
+	for i := range y {
+		if i%2 == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Train(gram, y, 1.0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

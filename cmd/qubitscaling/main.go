@@ -1,0 +1,90 @@
+// Command qubitscaling reproduces artifact A1 (Fig. 7): MPS simulation time
+// for circuits with a varying number of qubits (features), one series per
+// kernel bandwidth γ, demonstrating the manageable scaling in m and the
+// γ-dependence of entanglement (γ=0.5 slowest).
+//
+// Usage:
+//
+//	qubitscaling [-qubits 15,40,65,90,115,140,165] [-d 4] [-layers 2] [-samples 4] [-csv out.csv]
+//
+// Paper-scale settings: -d 6 -samples 8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	qubitList := flag.String("qubits", "15,40,65,90,115,140,165", "comma-separated qubit counts")
+	layers := flag.Int("layers", 2, "ansatz layers r")
+	distance := flag.Int("d", 4, "interaction distance")
+	gammaList := flag.String("gammas", "0.1,0.5,1.0", "comma-separated γ values")
+	samples := flag.Int("samples", 4, "samples per point (paper: 8)")
+	seed := flag.Int64("seed", 1, "data seed")
+	csvPath := flag.String("csv", "", "optional CSV output path")
+	flag.Parse()
+
+	var grid []int
+	for _, p := range strings.Split(*qubitList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qubitscaling: bad qubit count:", p)
+			os.Exit(1)
+		}
+		grid = append(grid, v)
+	}
+	var gammas []float64
+	for _, p := range strings.Split(*gammaList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qubitscaling: bad gamma:", p)
+			os.Exit(1)
+		}
+		gammas = append(gammas, v)
+	}
+
+	res, err := experiments.RunFig7(experiments.Fig7Params{
+		QubitGrid: grid,
+		Layers:    *layers,
+		Distance:  *distance,
+		Gammas:    gammas,
+		Samples:   *samples,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qubitscaling:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Fig. 7 — simulation time vs qubit count")
+	fmt.Println(res.Table().Render())
+	chart := &experiments.Chart{Title: "simulation seconds vs qubits (log y)", LogY: true}
+	for _, g := range gammas {
+		var xs, ys []float64
+		for _, pt := range res.Points {
+			if pt.Gamma == g {
+				xs = append(xs, float64(pt.Qubits))
+				ys = append(ys, pt.AvgSimSecs)
+			}
+		}
+		if err := chart.AddSeries(fmt.Sprintf("γ=%.1f", g), xs, ys); err != nil {
+			fmt.Fprintln(os.Stderr, "qubitscaling:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println(chart.Render())
+	fmt.Printf("slowest γ (strongest entanglement): %.1f\n", res.SlowestGamma())
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.Table().CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qubitscaling: writing csv:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}

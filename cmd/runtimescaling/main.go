@@ -1,0 +1,86 @@
+// Command runtimescaling reproduces artifact A4 (Fig. 8): the wall-clock
+// breakdown (simulation / inner products / communication) of distributed
+// Gram-matrix computation with the round-robin strategy, as the data-set
+// size and the process count double together. It also prints the cost-model
+// extrapolation the paper uses to project 64,000-point training runs.
+//
+// Usage:
+//
+//	runtimescaling [-qubits 165] [-layers 2] [-d 1] [-gamma 0.1] [-steps 64:2,128:4,256:8,512:16] [-csv out.csv]
+//
+// Paper-scale settings: -steps 400:2,800:4,1600:8,3200:16,6400:32.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func parseSteps(s string) ([]experiments.Fig8Step, error) {
+	var out []experiments.Fig8Step
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.Split(strings.TrimSpace(part), ":")
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad step %q (want size:procs)", part)
+		}
+		n, err := strconv.Atoi(bits[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", bits[0])
+		}
+		k, err := strconv.Atoi(bits[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad proc count %q", bits[1])
+		}
+		out = append(out, experiments.Fig8Step{DataSize: n, Procs: k})
+	}
+	return out, nil
+}
+
+func main() {
+	qubits := flag.Int("qubits", 165, "number of qubits (features)")
+	layers := flag.Int("layers", 2, "ansatz layers r")
+	distance := flag.Int("d", 1, "interaction distance")
+	gamma := flag.Float64("gamma", 0.1, "kernel bandwidth γ")
+	steps := flag.String("steps", "64:2,128:4,256:8,512:16", "comma-separated size:procs pairs")
+	seed := flag.Int64("seed", 1, "data seed")
+	csvPath := flag.String("csv", "", "optional CSV output path")
+	flag.Parse()
+
+	st, err := parseSteps(*steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runtimescaling:", err)
+		os.Exit(1)
+	}
+	res, err := experiments.RunFig8(experiments.Fig8Params{
+		Qubits:   *qubits,
+		Layers:   *layers,
+		Distance: *distance,
+		Gamma:    *gamma,
+		Steps:    st,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runtimescaling:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Fig. 8 — distributed Gram computation breakdown (round-robin)")
+	fmt.Println(res.Table().Render())
+	fmt.Println("extrapolations from measured per-op costs (paper section III-A):")
+	for _, proj := range [][2]int{{6400, 32}, {64000, 320}, {64000, 640}} {
+		fmt.Printf("  %6d points on %3d processes → %v\n",
+			proj[0], proj[1], res.Extrapolate(proj[0], proj[1]).Round(1e9))
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.Table().CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "runtimescaling: writing csv:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+}

@@ -1,0 +1,85 @@
+// Expressivity study: how the ansatz hyperparameters (interaction distance
+// d, bandwidth γ, depth r) shape the kernel — bond dimension, memory, kernel
+// concentration, and classification quality. A compact tour of the paper's
+// section III-B analysis.
+//
+// Run with: go run ./examples/expressivity_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/svm"
+)
+
+const (
+	features = 16
+	size     = 80
+)
+
+func evaluate(train, test *dataset.Dataset, a circuit.Ansatz) (chi int, conc kernel.Concentration, met svm.Metrics) {
+	q := &kernel.Quantum{Ansatz: a}
+	trainStates, err := q.States(train.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range trainStates {
+		if s.MaxBond() > chi {
+			chi = s.MaxBond()
+		}
+	}
+	testStates, err := q.States(test.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ktr := kernel.GramFromStates(trainStates, 0)
+	kte := kernel.CrossFromStates(testStates, trainStates, 0)
+	conc = kernel.MeasureConcentration(ktr)
+	_, met, _, err = svm.TrainBestC(ktr, train.Y, kte, test.Y, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return chi, conc, met
+}
+
+func main() {
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: features, NumIllicit: size, NumLicit: size, Seed: 11,
+	})
+	train, test, err := dataset.PrepareSplit(full, size, features, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- interaction distance sweep (r=2, γ=0.5) --")
+	fmt.Println("d   χ    kernel-mean  kernel-var  test AUC")
+	for _, d := range []int{1, 2, 4, 6} {
+		chi, conc, met := evaluate(train, test, circuit.Ansatz{Qubits: features, Layers: 2, Distance: d, Gamma: 0.5})
+		fmt.Printf("%-3d %-4d %-12.4f %-11.5f %.3f\n", d, chi, conc.Mean, conc.Var, met.AUC)
+	}
+
+	fmt.Println()
+	fmt.Println("-- bandwidth sweep (r=2, d=1) --")
+	fmt.Println("γ     χ    kernel-mean  kernel-var  test AUC")
+	for _, g := range []float64{0.1, 0.5, 1.0} {
+		chi, conc, met := evaluate(train, test, circuit.Ansatz{Qubits: features, Layers: 2, Distance: 1, Gamma: g})
+		fmt.Printf("%-5.1f %-4d %-12.4f %-11.5f %.3f\n", g, chi, conc.Mean, conc.Var, met.AUC)
+	}
+
+	fmt.Println()
+	fmt.Println("-- depth sweep (d=1, γ=1.0): kernel concentration kills deep models --")
+	fmt.Println("r    χ    kernel-mean  kernel-var  test AUC")
+	for _, r := range []int{1, 2, 8, 16} {
+		chi, conc, met := evaluate(train, test, circuit.Ansatz{Qubits: features, Layers: r, Distance: 1, Gamma: 1.0})
+		fmt.Printf("%-4d %-4d %-12.4f %-11.5f %.3f\n", r, chi, conc.Mean, conc.Var, met.AUC)
+	}
+
+	fmt.Println()
+	fmt.Println("reading guide: larger d/γ grow χ (more entanglement = more expressive);")
+	fmt.Println("deep circuits drive the off-diagonal kernel mass toward 0 (concentration),")
+	fmt.Println("after which the SVM extracts no information (paper Table III).")
+}

@@ -1,0 +1,76 @@
+// Hamiltonian probe: represent the paper's data-encoding Ising Hamiltonian
+// H(x) (equations (4)–(5)) exactly as a Matrix Product Operator and measure
+// energy ⟨H⟩, energy variance, entanglement-entropy profile and ZZ
+// correlations of encoded states — physical diagnostics of what the feature
+// map actually does to a data point.
+//
+// Run with: go run ./examples/hamiltonian_probe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/dataset"
+	"repro/internal/mpo"
+	"repro/internal/mps"
+)
+
+func main() {
+	const features = 14
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: features, NumIllicit: 4, NumLicit: 4, Seed: 5,
+	})
+	sc, err := dataset.FitScaler(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaled, err := sc.Transform(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-data-point physics of the encoded states |ψ(x)⟩ (d=2, r=2, γ=0.5):")
+	fmt.Println()
+	fmt.Println("point  ⟨H(x)⟩      Var H      max χ   mid-chain entropy  ZZ(0,7)")
+	a := circuit.Ansatz{Qubits: features, Layers: 2, Distance: 2, Gamma: 0.5}
+	for i := 0; i < 4; i++ {
+		x := scaled.X[i]
+		c, err := a.BuildRouted(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := mps.NewZeroState(features, mps.Config{})
+		if err := st.ApplyCircuit(c); err != nil {
+			log.Fatal(err)
+		}
+		h, err := mpo.EncodingHamiltonian(x, a.Gamma, a.Distance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		energy, err := h.Expectation(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		variance, err := h.Variance(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entropy, err := st.EntanglementEntropy(features / 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		zz, err := st.CorrelationZZ(0, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-11.4f %-10.4f %-7d %-18.4f %+.4f\n",
+			i, real(energy), variance, st.MaxBond(), entropy, zz)
+	}
+	fmt.Println()
+	fmt.Println("⟨H⟩ differs per point because H(x) itself is data-dependent; the")
+	fmt.Println("entropy column is the quantity that drives the MPS bond dimension χ,")
+	fmt.Println("and the ZZ correlator shows how far the encoding spreads information")
+	fmt.Println("along the qubit chain (grows with interaction distance d).")
+}

@@ -1,0 +1,77 @@
+// Projected quantum kernel: the alternative kernel construction the paper's
+// introduction cites (Huang et al., Nat. Commun. 12, 2631 — the paper's
+// Ref. [12]). Instead of the fidelity |⟨ψ(x),ψ(x')⟩|², each state is reduced
+// to its single-qubit reduced density matrices and the kernel is a Gaussian
+// in their Frobenius distances. This example trains both kernels on the same
+// data and compares them.
+//
+// Run with: go run ./examples/projected_kernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/svm"
+)
+
+func main() {
+	const features = 20
+	const size = 120
+
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: features, NumIllicit: size, NumLicit: size, Seed: 21,
+	})
+	train, test, err := dataset.PrepareSplit(full, size, features, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d train / %d test, %d features\n\n", train.Len(), test.Len(), features)
+
+	ansatz := circuit.Ansatz{Qubits: features, Layers: 2, Distance: 1, Gamma: 0.5}
+
+	fmt.Println("-- fidelity kernel K = |⟨ψ(x),ψ(x')⟩|² --")
+	fid := &kernel.Quantum{Ansatz: ansatz}
+	ktr, err := fid.Gram(train.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kte, err := fid.Cross(test.X, train.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, fm, fc, err := svm.TrainBestC(ktr, train.Y, kte, test.Y, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cf := kernel.MeasureConcentration(ktr)
+	fmt.Printf("best C=%.2f: AUC %.3f  recall %.3f  precision %.3f  accuracy %.3f\n",
+		fc, fm.AUC, fm.Recall, fm.Precision, fm.Accuracy)
+	fmt.Printf("kernel off-diagonal mean %.4f, variance %.5f\n\n", cf.Mean, cf.Var)
+
+	fmt.Println("-- projected kernel K = exp(−γ_p Σ_q ‖ρ_q(x)−ρ_q(x')‖²) --")
+	proj := &kernel.Projected{Quantum: &kernel.Quantum{Ansatz: ansatz}, GammaP: 1.0}
+	ptr, err := proj.Gram(train.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pte, err := proj.Cross(test.X, train.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, pm, pc, err := svm.TrainBestC(ptr, train.Y, pte, test.Y, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp := kernel.MeasureConcentration(ptr)
+	fmt.Printf("best C=%.2f: AUC %.3f  recall %.3f  precision %.3f  accuracy %.3f\n",
+		pc, pm.AUC, pm.Recall, pm.Precision, pm.Accuracy)
+	fmt.Printf("kernel off-diagonal mean %.4f, variance %.5f\n\n", cp.Mean, cp.Var)
+
+	fmt.Println("both kernels run the same MPS simulations (linear in data size);")
+	fmt.Println("the projected kernel's quadratic stage is purely classical 2×2 algebra,")
+	fmt.Println("so its Gram matrix assembly is far cheaper at large data sizes.")
+}

@@ -1,0 +1,105 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+func backends() []Backend {
+	return []Backend{
+		NewSerial(),
+		NewParallelWithOverhead(4, 0), // overhead disabled for correctness tests
+	}
+}
+
+func TestBackendsAgreeOnMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := linalg.Random(rng, 17, 9)
+	b := linalg.Random(rng, 9, 23)
+	want := linalg.MatMulSerial(a, b)
+	for _, bk := range backends() {
+		got := bk.MatMul(a, b)
+		if !got.EqualApprox(want, 1e-10) {
+			t.Errorf("%s MatMul disagrees", bk.Name())
+		}
+	}
+}
+
+func TestBackendsAgreeOnSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := linalg.Random(rng, 12, 8)
+	for _, bk := range backends() {
+		res := bk.SVD(m)
+		if d := res.Reconstruct().Sub(m).FrobeniusNorm(); d > 1e-9*(1+m.FrobeniusNorm()) {
+			t.Errorf("%s SVD reconstruction error %.3g", bk.Name(), d)
+		}
+	}
+}
+
+func TestBackendsAgreeOnQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := linalg.Random(rng, 10, 6)
+	for _, bk := range backends() {
+		q, r := bk.QR(m)
+		if d := linalg.MatMul(q, r).Sub(m).FrobeniusNorm(); d > 1e-9*(1+m.FrobeniusNorm()) {
+			t.Errorf("%s QR reconstruction error %.3g", bk.Name(), d)
+		}
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSerial()
+	a := linalg.Random(rng, 4, 4)
+	s.MatMul(a, a)
+	s.MatMul(a, a)
+	s.SVD(a)
+	s.QR(a)
+	snap := s.Stats().Snapshot()
+	if snap.MatMulOps != 2 || snap.SVDOps != 1 || snap.QROps != 1 {
+		t.Fatalf("counts wrong: %+v", snap)
+	}
+	if snap.TotalTime() <= 0 {
+		t.Fatal("expected nonzero accumulated time")
+	}
+	s.Stats().Reset()
+	snap = s.Stats().Snapshot()
+	if snap.MatMulOps != 0 || snap.TotalTime() != 0 {
+		t.Fatalf("Reset did not clear: %+v", snap)
+	}
+}
+
+func TestParallelDefaults(t *testing.T) {
+	p := NewParallel(0)
+	if p.Workers() < 1 {
+		t.Fatal("workers must default to ≥1")
+	}
+	if p.Overhead() != DefaultDispatchOverhead {
+		t.Fatalf("overhead %v", p.Overhead())
+	}
+	n := NewParallelWithOverhead(2, -time.Second)
+	if n.Overhead() != 0 {
+		t.Fatal("negative overhead must clamp to 0")
+	}
+}
+
+func TestDispatchOverheadIsPaid(t *testing.T) {
+	// With a large synthetic overhead, even a tiny op must take at least that
+	// long — the mechanism behind the CPU-favoured regime at small χ.
+	p := NewParallelWithOverhead(2, 2*time.Millisecond)
+	a := linalg.Identity(2)
+	t0 := time.Now()
+	p.MatMul(a, a)
+	if el := time.Since(t0); el < 2*time.Millisecond {
+		t.Fatalf("dispatch overhead not applied: %v", el)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewSerial().Name() != "serial" || NewParallel(1).Name() != "parallel" {
+		t.Fatal("backend names changed — experiment output depends on them")
+	}
+}

@@ -1,0 +1,50 @@
+package backend
+
+import (
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// Serial is the CPU-role backend: single-threaded kernels with no dispatch
+// overhead. It plays the part of the paper's ITensors/CPU configuration —
+// favoured at small bond dimension.
+type Serial struct {
+	stats Stats
+}
+
+// NewSerial returns a Serial backend.
+func NewSerial() *Serial { return &Serial{} }
+
+// Name implements Backend.
+func (s *Serial) Name() string { return "serial" }
+
+// MatMul implements Backend using the single-threaded kernel.
+func (s *Serial) MatMul(a, b *linalg.Matrix) *linalg.Matrix {
+	t0 := time.Now()
+	c := linalg.MatMulSerial(a, b)
+	s.stats.MatMulOps.Add(1)
+	s.stats.MatMulNanos.Add(time.Since(t0).Nanoseconds())
+	return c
+}
+
+// SVD implements Backend using serial one-sided Jacobi.
+func (s *Serial) SVD(m *linalg.Matrix) linalg.SVDResult {
+	t0 := time.Now()
+	r := linalg.SVD(m)
+	s.stats.SVDOps.Add(1)
+	s.stats.SVDNanos.Add(time.Since(t0).Nanoseconds())
+	return r
+}
+
+// QR implements Backend.
+func (s *Serial) QR(m *linalg.Matrix) (*linalg.Matrix, *linalg.Matrix) {
+	t0 := time.Now()
+	q, r := linalg.QR(m)
+	s.stats.QROps.Add(1)
+	s.stats.QRNanos.Add(time.Since(t0).Nanoseconds())
+	return q, r
+}
+
+// Stats implements Backend.
+func (s *Serial) Stats() *Stats { return &s.stats }

@@ -1,0 +1,132 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders the circuit as ASCII art, one row per qubit, gates placed in
+// ASAP layers (the same layering Stats uses for depth). Intended for small
+// circuits in documentation, examples and debugging:
+//
+//	q0: ─[H]──●────────
+//	q1: ─[H]──R──●─────
+//	q2: ─[H]─────R─────
+//
+// Single-qubit gates show a short label; two-qubit gates draw both endpoints
+// and a vertical connector (rendered per layer column).
+func (c *Circuit) Draw() string {
+	type placed struct {
+		gate  Gate
+		layer int
+	}
+	var placements []placed
+	ready := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		layer := 0
+		for _, q := range g.Qubits {
+			if ready[q] > layer {
+				layer = ready[q]
+			}
+		}
+		for _, q := range g.Qubits {
+			ready[q] = layer + 1
+		}
+		placements = append(placements, placed{g, layer})
+		if layer+1 > depth {
+			depth = layer + 1
+		}
+	}
+
+	const cellWidth = 6
+	// grid[q][layer] holds the cell text for qubit q at a layer.
+	grid := make([][]string, c.NumQubits)
+	// conn[q][layer] marks a vertical connector passing between q and q+1.
+	conn := make([][]bool, c.NumQubits)
+	for q := range grid {
+		grid[q] = make([]string, depth)
+		conn[q] = make([]bool, depth)
+	}
+	for _, p := range placements {
+		label := shortLabel(p.gate.Name)
+		if len(p.gate.Qubits) == 1 {
+			grid[p.gate.Qubits[0]][p.layer] = "[" + label + "]"
+			continue
+		}
+		a, b := p.gate.Qubits[0], p.gate.Qubits[1]
+		grid[a][p.layer] = "[" + label + "]"
+		grid[b][p.layer] = "[" + label + "]"
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for q := lo; q < hi; q++ {
+			conn[q][p.layer] = true
+		}
+		for q := lo + 1; q < hi; q++ {
+			if grid[q][p.layer] == "" {
+				grid[q][p.layer] = "─┼─"
+			}
+		}
+	}
+
+	var b strings.Builder
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&b, "q%-2d: ", q)
+		for l := 0; l < depth; l++ {
+			cell := grid[q][l]
+			if cell == "" {
+				cell = strings.Repeat("─", cellWidth)
+			} else {
+				pad := cellWidth - len([]rune(cell))
+				left := pad / 2
+				cell = strings.Repeat("─", left) + cell + strings.Repeat("─", pad-left)
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+		// Connector row between q and q+1.
+		if q < c.NumQubits-1 {
+			hasAny := false
+			for l := 0; l < depth; l++ {
+				if conn[q][l] {
+					hasAny = true
+					break
+				}
+			}
+			if hasAny {
+				b.WriteString("     ")
+				for l := 0; l < depth; l++ {
+					if conn[q][l] {
+						half := cellWidth / 2
+						b.WriteString(strings.Repeat(" ", half) + "│" + strings.Repeat(" ", cellWidth-half-1))
+					} else {
+						b.WriteString(strings.Repeat(" ", cellWidth))
+					}
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// shortLabel compresses common gate names to ≤3 characters so cells align.
+func shortLabel(name string) string {
+	switch name {
+	case "SWAP":
+		return "x"
+	case "RXX":
+		return "XX"
+	case "RZ":
+		return "Rz"
+	case "RX":
+		return "Rx"
+	default:
+		if len(name) > 3 {
+			return name[:3]
+		}
+		return name
+	}
+}

@@ -1,0 +1,78 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func TestDrawContainsAllGates(t *testing.T) {
+	a := Ansatz{Qubits: 4, Layers: 1, Distance: 2, Gamma: 0.5}
+	c, err := a.Build([]float64{0.5, 1.0, 1.5, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Draw()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// One line per qubit plus connector rows.
+	qubitLines := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "q") {
+			qubitLines++
+		}
+	}
+	if qubitLines != 4 {
+		t.Fatalf("expected 4 qubit rows, got %d:\n%s", qubitLines, out)
+	}
+	if !strings.Contains(out, "[H]") {
+		t.Fatalf("missing Hadamard in drawing:\n%s", out)
+	}
+	if !strings.Contains(out, "[Rz]") {
+		t.Fatalf("missing RZ in drawing:\n%s", out)
+	}
+	if !strings.Contains(out, "[XX]") {
+		t.Fatalf("missing RXX in drawing:\n%s", out)
+	}
+}
+
+func TestDrawConnectorsForTwoQubitGates(t *testing.T) {
+	c := New(3)
+	c.MustAppend(Gate{Name: "RXX", Qubits: []int{0, 2}, Mat: gates.RXX(1)})
+	out := c.Draw()
+	if !strings.Contains(out, "│") {
+		t.Fatalf("expected vertical connector:\n%s", out)
+	}
+	if !strings.Contains(out, "┼") {
+		t.Fatalf("expected pass-through marker on middle qubit:\n%s", out)
+	}
+}
+
+func TestDrawRowsAligned(t *testing.T) {
+	a := Ansatz{Qubits: 3, Layers: 2, Distance: 1, Gamma: 1.0}
+	c, err := a.Build([]float64{0.2, 0.9, 1.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Draw()
+	var width int
+	for _, l := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(l, "q") {
+			continue
+		}
+		w := len([]rune(l))
+		if width == 0 {
+			width = w
+		} else if w != width {
+			t.Fatalf("qubit rows not aligned (%d vs %d):\n%s", w, width, out)
+		}
+	}
+}
+
+func TestDrawSwapLabel(t *testing.T) {
+	c := New(2)
+	c.MustAppend(Gate{Name: "SWAP", Qubits: []int{0, 1}, Mat: gates.SWAP()})
+	if out := c.Draw(); !strings.Contains(out, "[x]") {
+		t.Fatalf("SWAP not rendered:\n%s", out)
+	}
+}

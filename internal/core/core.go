@@ -1,0 +1,231 @@
+// Package core is the top-level facade of the quantum kernel framework — the
+// paper's primary contribution assembled from its substrates: it wires the
+// feature-map ansatz (internal/circuit), the MPS simulator (internal/mps),
+// the kernel machinery (internal/kernel), the distributed runtime
+// (internal/dist) and the SVM (internal/svm) into a single train/predict
+// pipeline mirroring the workflow of section III-B:
+//
+//	fw := core.New(core.Options{Features: 50, Layers: 2, Distance: 1, Gamma: 0.5})
+//	model, report, err := fw.Fit(trainX, trainY)
+//	scores, err := fw.Predict(model, testX)
+//
+// Data passed to Fit/Predict must already be rescaled into the (0,2)
+// interval (see internal/dataset.PrepareSplit, which performs the paper's
+// preprocessing).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+	"repro/internal/dist"
+	"repro/internal/kernel"
+	"repro/internal/mps"
+	"repro/internal/svm"
+)
+
+// Options configures the framework.
+type Options struct {
+	// Features is the data dimension; one qubit per feature.
+	Features int
+	// Layers is the ansatz repetition count r (default 2).
+	Layers int
+	// Distance is the qubit interaction distance d (default 1).
+	Distance int
+	// Gamma is the kernel bandwidth γ (default 0.1).
+	Gamma float64
+	// C is the SVM box constraint; 0 sweeps the paper's grid [0.01, 4] and
+	// keeps the best model by training-kernel AUC.
+	C float64
+	// Procs is the number of simulated distributed processes for Gram
+	// computation (default 1 = single process).
+	Procs int
+	// Strategy selects the distribution scheme (default RoundRobin).
+	Strategy dist.Strategy
+	// UseParallelBackend switches the MPS simulator to the
+	// accelerator-role backend (worthwhile only at large bond dimension —
+	// see the Fig. 5 crossover).
+	UseParallelBackend bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Layers == 0 {
+		o.Layers = 2
+	}
+	if o.Distance == 0 {
+		o.Distance = 1
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.1
+	}
+	if o.Procs == 0 {
+		o.Procs = 1
+	}
+	return o
+}
+
+// Framework is a configured quantum-kernel classification pipeline.
+type Framework struct {
+	opts Options
+	q    *kernel.Quantum
+}
+
+// New validates the options and builds a framework.
+func New(opts Options) (*Framework, error) {
+	opts = opts.withDefaults()
+	ansatz := circuit.Ansatz{
+		Qubits:   opts.Features,
+		Layers:   opts.Layers,
+		Distance: opts.Distance,
+		Gamma:    opts.Gamma,
+	}
+	if err := ansatz.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg := mps.Config{}
+	if opts.UseParallelBackend {
+		cfg.Backend = backend.NewParallel(0)
+	}
+	return &Framework{
+		opts: opts,
+		q:    &kernel.Quantum{Ansatz: ansatz, Config: cfg},
+	}, nil
+}
+
+// Model bundles the trained SVM with the training inputs needed at
+// inference time (the paper stores the training-stage MPS; storing the raw
+// rows and re-simulating on demand trades memory for compute).
+type Model struct {
+	SVM    *svm.Model
+	TrainX [][]float64
+	TrainY []int
+}
+
+// FitReport describes the training run.
+type FitReport struct {
+	GramWall    time.Duration
+	SimWall     time.Duration
+	InnerWall   time.Duration
+	CommWall    time.Duration
+	BytesSent   int64
+	BestC       float64
+	TrainAUC    float64
+	SupportVecs int
+}
+
+// Fit computes the training Gram matrix with the configured distribution
+// strategy and trains the SVM. Labels are ±1.
+func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
+	if len(X) != len(y) {
+		return nil, nil, fmt.Errorf("core: %d rows for %d labels", len(X), len(y))
+	}
+	res, err := dist.ComputeGram(f.q, X, f.opts.Procs, f.opts.Strategy)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: gram: %w", err)
+	}
+	report := &FitReport{GramWall: res.Wall, BytesSent: res.TotalBytes()}
+	report.SimWall, report.InnerWall, report.CommWall = res.MaxPhaseTimes()
+
+	var model *svm.Model
+	if f.opts.C > 0 {
+		model, err = svm.Train(res.Gram, y, f.opts.C, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: svm: %w", err)
+		}
+		report.BestC = f.opts.C
+	} else {
+		// Select C on a held-out validation slice of the training set
+		// (picking C by training AUC would always choose the most
+		// overfitted model), then retrain on the full set.
+		report.BestC, err = selectC(res.Gram, y)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: C selection: %w", err)
+		}
+		model, err = svm.Train(res.Gram, y, report.BestC, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: svm: %w", err)
+		}
+	}
+	if scores, err := model.DecisionBatch(res.Gram); err == nil {
+		if auc, err := svm.AUC(scores, y); err == nil {
+			report.TrainAUC = auc
+		}
+	}
+	report.SupportVecs = len(model.SupportVectors())
+	return &Model{SVM: model, TrainX: X, TrainY: y}, report, nil
+}
+
+// selectC sweeps the paper's C grid on a deterministic 80/20 split of the
+// training kernel (every 5th sample held out) and returns the value with
+// the best validation AUC.
+func selectC(gram [][]float64, y []int) (float64, error) {
+	n := len(y)
+	var fitIdx, valIdx []int
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			valIdx = append(valIdx, i)
+		} else {
+			fitIdx = append(fitIdx, i)
+		}
+	}
+	// Degenerate splits (single class on either side) fall back to the
+	// middle of the grid.
+	if !bothClasses(y, fitIdx) || !bothClasses(y, valIdx) {
+		return 1.0, nil
+	}
+	subGram := make([][]float64, len(fitIdx))
+	subY := make([]int, len(fitIdx))
+	for a, i := range fitIdx {
+		subY[a] = y[i]
+		subGram[a] = make([]float64, len(fitIdx))
+		for b, j := range fitIdx {
+			subGram[a][b] = gram[i][j]
+		}
+	}
+	valK := make([][]float64, len(valIdx))
+	valY := make([]int, len(valIdx))
+	for a, i := range valIdx {
+		valY[a] = y[i]
+		valK[a] = make([]float64, len(fitIdx))
+		for b, j := range fitIdx {
+			valK[a][b] = gram[i][j]
+		}
+	}
+	_, _, bestC, err := svm.TrainBestC(subGram, subY, valK, valY, nil, 0)
+	return bestC, err
+}
+
+func bothClasses(y []int, idx []int) bool {
+	pos, neg := false, false
+	for _, i := range idx {
+		if y[i] == 1 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	return pos && neg
+}
+
+// Predict returns decision scores for new rows (positive ⇒ illicit class).
+func (f *Framework) Predict(m *Model, X [][]float64) ([]float64, error) {
+	if m == nil || m.SVM == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	res, err := dist.ComputeCross(f.q, X, m.TrainX, f.opts.Procs)
+	if err != nil {
+		return nil, fmt.Errorf("core: inference kernel: %w", err)
+	}
+	return m.SVM.DecisionBatch(res.Gram)
+}
+
+// Evaluate scores the model on labelled data.
+func (f *Framework) Evaluate(m *Model, X [][]float64, y []int) (svm.Metrics, error) {
+	scores, err := f.Predict(m, X)
+	if err != nil {
+		return svm.Metrics{}, err
+	}
+	return svm.Evaluate(scores, y)
+}

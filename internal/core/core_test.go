@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/svm"
+)
+
+func preparedData(t *testing.T, features, size int) (train, test *dataset.Dataset) {
+	t.Helper()
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: features, NumIllicit: size, NumLicit: size, Seed: 1,
+	})
+	tr, te, err := dataset.PrepareSplit(full, size, features, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, te
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(Options{Features: 0}); err == nil {
+		t.Fatal("zero features must error")
+	}
+	if _, err := New(Options{Features: 4, Distance: 9}); err == nil {
+		t.Fatal("distance ≥ features must error")
+	}
+	fw, err := New(Options{Features: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.opts.Layers != 2 || fw.opts.Gamma != 0.1 || fw.opts.Procs != 1 {
+		t.Fatalf("defaults wrong: %+v", fw.opts)
+	}
+}
+
+func TestFitPredictRoundTrip(t *testing.T) {
+	train, test := preparedData(t, 24, 120)
+	fw, err := New(Options{Features: 24, Gamma: 0.1, Procs: 2, Strategy: dist.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, report, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GramWall <= 0 || report.BestC <= 0 || report.SupportVecs == 0 {
+		t.Fatalf("report incomplete: %+v", report)
+	}
+	if report.TrainAUC < 0.5 {
+		t.Fatalf("train AUC %v below chance", report.TrainAUC)
+	}
+	scores, err := fw.Predict(model, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != test.Len() {
+		t.Fatalf("%d scores for %d rows", len(scores), test.Len())
+	}
+	met, err := fw.Evaluate(model, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(met.AUC) || met.AUC < 0.6 {
+		t.Fatalf("test metrics implausible: %+v", met)
+	}
+}
+
+func TestFitFixedC(t *testing.T) {
+	train, _ := preparedData(t, 10, 40)
+	fw, err := New(Options{Features: 10, C: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.BestC != 0.5 {
+		t.Fatalf("fixed C not honoured: %v", report.BestC)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	fw, err := New(Options{Features: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fw.Fit([][]float64{{1, 1, 1, 1}}, []int{1, -1}); err == nil {
+		t.Fatal("row/label mismatch must error")
+	}
+	if _, err := fw.Predict(nil, nil); err == nil {
+		t.Fatal("nil model must error")
+	}
+}
+
+func TestNoMessagingStrategyWorks(t *testing.T) {
+	train, _ := preparedData(t, 8, 32)
+	fwRR, err := New(Options{Features: 8, Procs: 3, Strategy: dist.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwNM, err := New(Options{Features: 8, Procs: 3, Strategy: dist.NoMessaging})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, r1, err := fwRR.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, r2, err := fwNM.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same data, same kernel ⇒ equivalent models. The Gram entries can
+	// differ in the last ulp between strategies (⟨a|b⟩ vs ⟨b|a⟩ ordering),
+	// which may flip SMO pair choices, so allow a small metric wobble.
+	if math.Abs(r1.TrainAUC-r2.TrainAUC) > 0.05 {
+		t.Fatalf("strategies disagree: %v vs %v", r1.TrainAUC, r2.TrainAUC)
+	}
+	if r2.BytesSent != 0 {
+		t.Fatal("no-messaging must not communicate")
+	}
+	_ = m1
+	_ = m2
+}
+
+func TestSelectCDegenerateFallback(t *testing.T) {
+	// Validation slice (every 5th sample) single-class → fallback C=1.
+	gram := [][]float64{
+		{1, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0},
+		{0, 0, 1, 0, 0},
+		{0, 0, 0, 1, 0},
+		{0, 0, 0, 0, 1},
+	}
+	// Index 4 is the only validation sample → one class there.
+	y := []int{1, -1, 1, -1, 1}
+	c, err := selectC(gram, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1.0 {
+		t.Fatalf("degenerate split should fall back to C=1, got %v", c)
+	}
+}
+
+func TestEvaluateMatchesManualPath(t *testing.T) {
+	train, test := preparedData(t, 10, 40)
+	fw, err := New(Options{Features: 10, C: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := fw.Predict(model, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met1, err := fw.Evaluate(model, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met2, err := svm.Evaluate(scores, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met1.AUC != met2.AUC || met1.Accuracy != met2.Accuracy {
+		t.Fatalf("Evaluate disagrees with manual path: %+v vs %+v", met1, met2)
+	}
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// LoadCSV reads a labelled dataset from CSV so the real Elliptic Bitcoin
+// data (or any other tabular export) can replace the synthetic generator.
+//
+// Expected layout: one row per sample; the column at labelCol holds the
+// class label and every other column a numeric feature. Accepted label
+// spellings: "1"/"illicit" → Illicit, "-1"/"0"/"2"/"licit" → Licit (the
+// Kaggle Elliptic export uses "1" for illicit and "2" for licit). Rows with
+// an "unknown" label are skipped, as the paper's preprocessing drops
+// unlabelled transactions. If header is true the first row is ignored.
+func LoadCSV(r io.Reader, labelCol int, header bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	d := &Dataset{}
+	wantFields := -1
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row, err)
+		}
+		row++
+		if header && row == 1 {
+			continue
+		}
+		if labelCol < 0 || labelCol >= len(rec) {
+			return nil, fmt.Errorf("dataset: csv row %d has %d columns, label column %d out of range", row, len(rec), labelCol)
+		}
+		if wantFields == -1 {
+			wantFields = len(rec)
+		} else if len(rec) != wantFields {
+			return nil, fmt.Errorf("dataset: csv row %d has %d columns, expected %d", row, len(rec), wantFields)
+		}
+		label, skip, err := parseLabel(rec[labelCol])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row, err)
+		}
+		if skip {
+			continue
+		}
+		feats := make([]float64, 0, len(rec)-1)
+		for i, cell := range rec {
+			if i == labelCol {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d column %d: %w", row, i, err)
+			}
+			feats = append(feats, v)
+		}
+		d.X = append(d.X, feats)
+		d.Y = append(d.Y, label)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("dataset: csv contained no labelled samples")
+	}
+	return d, nil
+}
+
+func parseLabel(s string) (label int, skip bool, err error) {
+	switch s {
+	case "1", "illicit", "+1":
+		return Illicit, false, nil
+	case "-1", "0", "2", "licit":
+		return Licit, false, nil
+	case "unknown", "":
+		return 0, true, nil
+	default:
+		return 0, false, fmt.Errorf("unrecognised label %q", s)
+	}
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string, labelCol int, header bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return LoadCSV(f, labelCol, header)
+}
+
+// SaveCSV writes the dataset with the label in column 0, so prepared
+// subsets can be exported for external tools.
+func SaveCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	for i, rowX := range d.X {
+		rec := make([]string, 0, len(rowX)+1)
+		rec = append(rec, strconv.Itoa(d.Y[i]))
+		for _, v := range rowX {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVBasic(t *testing.T) {
+	in := "1,0.5,1.5\n2,0.1,0.9\nunknown,9,9\n1,1.1,0.2\n"
+	d, err := LoadCSV(strings.NewReader(in), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Features() != 2 {
+		t.Fatalf("shape %d×%d", d.Len(), d.Features())
+	}
+	if d.Y[0] != Illicit || d.Y[1] != Licit || d.Y[2] != Illicit {
+		t.Fatalf("labels %v", d.Y)
+	}
+	if d.X[0][0] != 0.5 || d.X[1][1] != 0.9 {
+		t.Fatalf("features %v", d.X)
+	}
+}
+
+func TestLoadCSVHeaderAndLabelColumn(t *testing.T) {
+	in := "f1,class,f2\n0.5,illicit,1.5\n0.7,licit,0.2\n"
+	d, err := LoadCSV(strings.NewReader(in), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("rows %d", d.Len())
+	}
+	if d.X[0][0] != 0.5 || d.X[0][1] != 1.5 {
+		t.Fatalf("label column not excised: %v", d.X[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		labelCol int
+	}{
+		{"bad label", "7,1,2\n", 0},
+		{"bad number", "1,abc\n", 0},
+		{"label col out of range", "1,2\n", 5},
+		{"ragged rows", "1,2,3\n1,2\n", 0},
+		{"empty", "", 0},
+		{"only unknown", "unknown,1\nunknown,2\n", 0},
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c.in), c.labelCol, false); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := GenerateElliptic(EllipticConfig{Features: 4, NumIllicit: 5, NumLicit: 7, Seed: 3})
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Features() != d.Features() {
+		t.Fatalf("round-trip shape %d×%d", back.Len(), back.Features())
+	}
+	for i := range d.X {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := range d.X[i] {
+			if back.X[i][j] != d.X[i][j] {
+				t.Fatalf("feature (%d,%d) changed: %v vs %v", i, j, back.X[i][j], d.X[i][j])
+			}
+		}
+	}
+}
+
+func TestLoadCSVFileMissing(t *testing.T) {
+	if _, err := LoadCSVFile("/nonexistent/path.csv", 0, false); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

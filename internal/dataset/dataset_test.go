@@ -1,0 +1,260 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// smallCfg keeps generation fast in tests while preserving structure.
+func smallCfg(seed int64) EllipticConfig {
+	return EllipticConfig{Features: 20, NumIllicit: 150, NumLicit: 350, Seed: seed}
+}
+
+func TestGenerateDefaultsShape(t *testing.T) {
+	d := GenerateElliptic(EllipticConfig{Features: 10, NumIllicit: 50, NumLicit: 70})
+	if d.Len() != 120 || d.Features() != 10 {
+		t.Fatalf("shape %d×%d", d.Len(), d.Features())
+	}
+	if d.CountLabel(Illicit) != 50 || d.CountLabel(Licit) != 70 {
+		t.Fatalf("class counts %d/%d", d.CountLabel(Illicit), d.CountLabel(Licit))
+	}
+}
+
+func TestGeneratePaperShapeDefaults(t *testing.T) {
+	cfg := EllipticConfig{}.withDefaults()
+	if cfg.Features != 165 || cfg.NumIllicit != 4545 || cfg.NumLicit != 42019 {
+		t.Fatalf("paper defaults drifted: %+v", cfg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateElliptic(smallCfg(7))
+	b := GenerateElliptic(smallCfg(7))
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for f := range a.X[i] {
+			if a.X[i][f] != b.X[i][f] {
+				t.Fatal("features differ across identical seeds")
+			}
+		}
+	}
+	c := GenerateElliptic(smallCfg(8))
+	same := true
+	for i := range a.X {
+		if a.X[i][0] != c.X[i][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateHasClassSignal(t *testing.T) {
+	// The mean of even (linear-signal) features must differ between classes.
+	d := GenerateElliptic(EllipticConfig{Features: 10, NumIllicit: 2000, NumLicit: 2000, Seed: 3})
+	var mi, ml float64
+	var ni, nl int
+	for i, row := range d.X {
+		if d.Y[i] == Illicit {
+			mi += row[0]
+			ni++
+		} else {
+			ml += row[0]
+			nl++
+		}
+	}
+	gap := mi/float64(ni) - ml/float64(nl)
+	if gap < 0.1 {
+		t.Fatalf("class mean gap too small: %v", gap)
+	}
+}
+
+func TestBalancedSubset(t *testing.T) {
+	d := GenerateElliptic(smallCfg(1))
+	s, err := d.BalancedSubset(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 || s.CountLabel(Illicit) != 50 || s.CountLabel(Licit) != 50 {
+		t.Fatalf("balanced subset wrong: %d / %d / %d", s.Len(), s.CountLabel(Illicit), s.CountLabel(Licit))
+	}
+}
+
+func TestBalancedSubsetErrors(t *testing.T) {
+	d := GenerateElliptic(smallCfg(1))
+	if _, err := d.BalancedSubset(99, 1); err == nil {
+		t.Fatal("odd size must error")
+	}
+	if _, err := d.BalancedSubset(0, 1); err == nil {
+		t.Fatal("zero size must error")
+	}
+	if _, err := d.BalancedSubset(10_000, 1); err == nil {
+		t.Fatal("oversized request must error")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	d := GenerateElliptic(smallCfg(2))
+	s, _ := d.BalancedSubset(200, 3)
+	tr, te, err := s.Split(0.8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 160 || te.Len() != 40 {
+		t.Fatalf("split sizes %d/%d", tr.Len(), te.Len())
+	}
+	if tr.CountLabel(Illicit) != 80 || te.CountLabel(Illicit) != 20 {
+		t.Fatalf("split not stratified: train %d, test %d illicit", tr.CountLabel(Illicit), te.CountLabel(Illicit))
+	}
+}
+
+func TestSplitInvalidFraction(t *testing.T) {
+	d := GenerateElliptic(smallCfg(2))
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(f, 1); err == nil {
+			t.Fatalf("fraction %v must error", f)
+		}
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	d := GenerateElliptic(smallCfg(3))
+	s, err := d.SelectFeatures(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Features() != 5 || s.Len() != d.Len() {
+		t.Fatalf("shape %d×%d", s.Len(), s.Features())
+	}
+	if s.X[0][0] != d.X[0][0] || s.X[3][4] != d.X[3][4] {
+		t.Fatal("selected features must be a prefix copy")
+	}
+	if _, err := d.SelectFeatures(0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := d.SelectFeatures(21); err == nil {
+		t.Fatal("k>m must error")
+	}
+}
+
+func TestScalerRange(t *testing.T) {
+	d := GenerateElliptic(smallCfg(4))
+	tr, te, _ := d.Split(0.8, 9)
+	sc, err := FitScaler(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []*Dataset{mustTransform(t, sc, tr), mustTransform(t, sc, te)} {
+		for _, row := range part.X {
+			for _, v := range row {
+				if v <= 0 || v >= 2 {
+					t.Fatalf("rescaled value %v outside (0,2)", v)
+				}
+			}
+		}
+	}
+}
+
+func mustTransform(t *testing.T, s *Scaler, d *Dataset) *Dataset {
+	t.Helper()
+	out, err := s.Transform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{1, 5}, {1, 7}, {1, 9}},
+		Y: []int{Illicit, Licit, Illicit},
+	}
+	sc, err := FitScaler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustTransform(t, sc, d)
+	for _, row := range out.X {
+		if math.IsNaN(row[0]) || row[0] <= 0 || row[0] >= 2 {
+			t.Fatalf("constant feature rescaled badly: %v", row[0])
+		}
+	}
+}
+
+func TestScalerRejectsMismatchedWidth(t *testing.T) {
+	d := GenerateElliptic(smallCfg(5))
+	sc, _ := FitScaler(d)
+	narrow, _ := d.SelectFeatures(3)
+	if _, err := sc.Transform(narrow); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestScalerUnfitted(t *testing.T) {
+	var s Scaler
+	if _, err := s.Transform(&Dataset{}); err == nil {
+		t.Fatal("unfitted scaler must error")
+	}
+}
+
+func TestPrepareSplitEndToEnd(t *testing.T) {
+	full := GenerateElliptic(smallCfg(6))
+	tr, te, err := PrepareSplit(full, 100, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 80 || te.Len() != 20 || tr.Features() != 8 {
+		t.Fatalf("prepared shapes train %d×%d test %d", tr.Len(), tr.Features(), te.Len())
+	}
+	for _, part := range []*Dataset{tr, te} {
+		for _, row := range part.X {
+			for _, v := range row {
+				if v <= 0 || v >= 2 {
+					t.Fatalf("value %v outside (0,2)", v)
+				}
+			}
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	d := &Dataset{X: [][]float64{{0}, {2}}, Y: []int{1, -1}}
+	if v := Variance(d); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("variance %v, want 2", v)
+	}
+	if Variance(&Dataset{}) != 0 {
+		t.Fatal("empty variance should be 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := GenerateElliptic(smallCfg(9))
+	c := d.Clone()
+	c.X[0][0] = 999
+	c.Y[0] = -c.Y[0]
+	if d.X[0][0] == 999 {
+		t.Fatal("clone shares feature storage")
+	}
+}
+
+// Property: balanced subsets are always perfectly balanced and a subset of
+// the source rows.
+func TestPropertyBalancedSubset(t *testing.T) {
+	full := GenerateElliptic(smallCfg(11))
+	f := func(seed int64) bool {
+		size := 20 + 2*int(uint(seed)%50)
+		s, err := full.BalancedSubset(size, seed)
+		if err != nil {
+			return false
+		}
+		return s.CountLabel(Illicit) == size/2 && s.CountLabel(Licit) == size/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

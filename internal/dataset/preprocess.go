@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaler is the paper's "standard data engineering pipeline to normalize and
+// scale the data": per-feature standardisation (z-score) fitted on the
+// training set, followed by a min-max rescale into the open interval (0, 2)
+// required by the feature map (section II-A: "first rescaled to values in
+// the (0,2) real interval"). Test data reuses the training statistics and is
+// clamped into the interval.
+type Scaler struct {
+	mean, std []float64
+	lo, hi    []float64
+	fitted    bool
+	// Margin keeps rescaled values strictly inside (0,2); x=1 zeroes the
+	// RXX coefficient (1−x), so the endpoints are not special, but the
+	// feature map expects the open interval.
+	Margin float64
+}
+
+// FitScaler computes scaling statistics from train.
+func FitScaler(train *Dataset) (*Scaler, error) {
+	n, m := train.Len(), train.Features()
+	if n < 2 {
+		return nil, fmt.Errorf("dataset: need ≥2 samples to fit a scaler, got %d", n)
+	}
+	s := &Scaler{
+		mean: make([]float64, m), std: make([]float64, m),
+		lo: make([]float64, m), hi: make([]float64, m),
+		Margin: 1e-3,
+	}
+	for f := 0; f < m; f++ {
+		var sum float64
+		for _, row := range train.X {
+			sum += row[f]
+		}
+		mu := sum / float64(n)
+		var ss float64
+		for _, row := range train.X {
+			d := row[f] - mu
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(n-1))
+		if sd == 0 {
+			sd = 1 // constant feature: standardises to 0
+		}
+		s.mean[f], s.std[f] = mu, sd
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range train.X {
+			z := (row[f] - mu) / sd
+			if z < lo {
+				lo = z
+			}
+			if z > hi {
+				hi = z
+			}
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+		s.lo[f], s.hi[f] = lo, hi
+	}
+	s.fitted = true
+	return s, nil
+}
+
+// Transform returns a rescaled copy of d with every feature in (0, 2).
+func (s *Scaler) Transform(d *Dataset) (*Dataset, error) {
+	if !s.fitted {
+		return nil, fmt.Errorf("dataset: scaler not fitted")
+	}
+	if d.Features() != len(s.mean) {
+		return nil, fmt.Errorf("dataset: scaler fitted on %d features, got %d", len(s.mean), d.Features())
+	}
+	out := &Dataset{Y: append([]int(nil), d.Y...)}
+	span := 2 - 2*s.Margin
+	for _, row := range d.X {
+		nr := make([]float64, len(row))
+		for f, v := range row {
+			z := (v - s.mean[f]) / s.std[f]
+			u := (z - s.lo[f]) / (s.hi[f] - s.lo[f]) // 0..1 on train range
+			if u < 0 {
+				u = 0
+			}
+			if u > 1 {
+				u = 1
+			}
+			nr[f] = s.Margin + span*u
+		}
+		out.X = append(out.X, nr)
+	}
+	return out, nil
+}
+
+// PrepareSplit is the full pipeline used by every ML experiment: balanced
+// down-selection, feature subsetting, stratified 80/20 split, scaler fitted
+// on train and applied to both partitions.
+func PrepareSplit(full *Dataset, sampleSize, features int, seed int64) (train, test *Dataset, err error) {
+	sub, err := full.BalancedSubset(sampleSize, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err = sub.SelectFeatures(features)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, te, err := sub.Split(0.8, seed+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := FitScaler(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, err = sc.Transform(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = sc.Transform(te)
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// Variance returns the mean per-feature variance of the dataset, the
+// quantity entering the Gaussian-kernel bandwidth α = 1/(m·var(X))
+// (the paper's equation (9) discussion).
+func Variance(d *Dataset) float64 {
+	n, m := d.Len(), d.Features()
+	if n < 2 || m == 0 {
+		return 0
+	}
+	var total float64
+	for f := 0; f < m; f++ {
+		var sum float64
+		for _, row := range d.X {
+			sum += row[f]
+		}
+		mu := sum / float64(n)
+		var ss float64
+		for _, row := range d.X {
+			diff := row[f] - mu
+			ss += diff * diff
+		}
+		total += ss / float64(n-1)
+	}
+	return total / float64(m)
+}

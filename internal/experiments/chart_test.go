@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasicRender(t *testing.T) {
+	c := &Chart{Title: "test chart", Width: 30, Height: 8}
+	if err := c.AddSeries("up", []float64{0, 1, 2, 3}, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("markers missing")
+	}
+	if !strings.Contains(out, "* = up") {
+		t.Fatal("legend missing")
+	}
+	// Rising series: the topmost plotted row should contain a marker near
+	// the right edge, the bottom row near the left.
+	lines := strings.Split(out, "\n")
+	var first, last string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			if first == "" {
+				first = l
+			}
+			last = l
+		}
+	}
+	if strings.Index(first, "*") < strings.Index(last, "*") {
+		t.Fatalf("rising series plotted upside down:\n%s", out)
+	}
+}
+
+func TestChartMultiSeriesMarkers(t *testing.T) {
+	c := &Chart{Width: 20, Height: 6}
+	c.AddSeries("a", []float64{0, 1}, []float64{1, 2})
+	c.AddSeries("b", []float64{0, 1}, []float64{2, 1})
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := &Chart{Width: 20, Height: 6, LogY: true}
+	c.AddSeries("exp", []float64{1, 2, 3}, []float64{1, 10, 100})
+	out := c.Render()
+	if !strings.Contains(out, "100") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+	// Zero/negative values must not panic on log scale.
+	c2 := &Chart{LogY: true}
+	c2.AddSeries("zero", []float64{0, 1}, []float64{0, 5})
+	_ = c2.Render()
+}
+
+func TestChartErrors(t *testing.T) {
+	c := &Chart{}
+	if err := c.AddSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := c.AddSeries("empty", nil, nil); err == nil {
+		t.Fatal("empty series must error")
+	}
+	if out := (&Chart{}).Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty chart should say so: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{Width: 10, Height: 4}
+	c.AddSeries("flat", []float64{0, 1, 2}, []float64{5, 5, 5})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series should still plot:\n%s", out)
+	}
+}

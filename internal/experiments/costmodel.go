@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostModel captures the asymptotics the paper derives in sections II-B and
+// III-A and uses for capacity planning:
+//
+//   - bond dimension grows exponentially with interaction distance:
+//     χ(d) ≈ a·exp(b·d)  (Fig. 5 / Table I);
+//   - simulation and inner-product time scale as O(m·χ³);
+//   - Gram matrix work splits into N simulations (linear) plus N(N−1)/2
+//     inner products (quadratic), both embarrassingly parallel.
+//
+// Fitting the model from a cheap low-d sweep lets users predict whether a
+// target configuration is feasible — and which backend regime it falls in —
+// before paying for it.
+type CostModel struct {
+	// ChiA, ChiB are the exponential fit χ(d) = ChiA·exp(ChiB·d).
+	ChiA, ChiB float64
+	// SimCoeff is seconds per (m·χ³) unit of simulation work.
+	SimCoeff float64
+	// IPCoeff is seconds per (m·χ³) unit of inner-product work.
+	IPCoeff float64
+	// Qubits the coefficients were calibrated at.
+	Qubits int
+}
+
+// FitCostModel calibrates the model from a Fig. 5 sweep result (using the
+// serial backend series). It needs at least two distances.
+func FitCostModel(r *Fig5Result) (*CostModel, error) {
+	if len(r.Serial) < 2 {
+		return nil, fmt.Errorf("experiments: need ≥2 sweep points to fit, have %d", len(r.Serial))
+	}
+	// Least-squares fit of ln χ = ln a + b·d.
+	var n, sx, sy, sxx, sxy float64
+	for _, pt := range r.Serial {
+		if pt.AvgLargestChi <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive χ at d=%d", pt.Distance)
+		}
+		x := float64(pt.Distance)
+		y := math.Log(pt.AvgLargestChi)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("experiments: degenerate distance grid")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := math.Exp((sy - b*sx) / n)
+
+	// Calibrate the time coefficients at the largest measured point, where
+	// the asymptotic O(mχ³) term dominates the constant overheads.
+	last := r.Serial[len(r.Serial)-1]
+	m := float64(r.Params.Qubits)
+	work := m * math.Pow(last.AvgLargestChi, 3)
+	if work <= 0 || last.SimTime.Median <= 0 {
+		return nil, fmt.Errorf("experiments: cannot calibrate from empty timings")
+	}
+	cm := &CostModel{
+		ChiA: a, ChiB: b,
+		SimCoeff: last.SimTime.Median / work,
+		IPCoeff:  last.InnerTime.Median / work,
+		Qubits:   r.Params.Qubits,
+	}
+	return cm, nil
+}
+
+// PredictChi extrapolates the bond dimension at interaction distance d.
+func (c *CostModel) PredictChi(d int) float64 {
+	return c.ChiA * math.Exp(c.ChiB*float64(d))
+}
+
+// PredictSimSeconds predicts one circuit's simulation time at (m, d).
+func (c *CostModel) PredictSimSeconds(m, d int) float64 {
+	chi := c.PredictChi(d)
+	return c.SimCoeff * float64(m) * chi * chi * chi
+}
+
+// PredictInnerSeconds predicts one inner product's time at (m, d).
+func (c *CostModel) PredictInnerSeconds(m, d int) float64 {
+	chi := c.PredictChi(d)
+	return c.IPCoeff * float64(m) * chi * chi * chi
+}
+
+// PredictGramSeconds predicts the wall-clock of a full Gram computation on
+// dataSize points with procs parallel workers — the paper's Fig. 8
+// extrapolation arithmetic generalised to any (m, d).
+func (c *CostModel) PredictGramSeconds(m, d, dataSize, procs int) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	sim := c.PredictSimSeconds(m, d) * float64(dataSize) / float64(procs)
+	pairs := float64(dataSize) * (float64(dataSize) - 1) / 2
+	ip := c.PredictInnerSeconds(m, d) * pairs / float64(procs)
+	return sim + ip
+}
+
+func (c *CostModel) String() string {
+	return fmt.Sprintf("CostModel{χ(d)=%.3g·e^(%.3g·d), sim=%.3gs/(mχ³), ip=%.3gs/(mχ³), calibrated at m=%d}",
+		c.ChiA, c.ChiB, c.SimCoeff, c.IPCoeff, c.Qubits)
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// syntheticSweep builds a Fig5Result with a known exponential χ(d) law and
+// timings that follow m·χ³ exactly, so the fit can be checked analytically.
+func syntheticSweep(a, b float64, qubits int, dists []int) *Fig5Result {
+	res := &Fig5Result{Params: Fig5Params{Qubits: qubits, Distances: dists}}
+	const simC, ipC = 2e-9, 5e-10
+	for _, d := range dists {
+		chi := a * math.Exp(b*float64(d))
+		work := float64(qubits) * chi * chi * chi
+		res.Serial = append(res.Serial, Fig5Point{
+			Distance:      d,
+			AvgLargestChi: chi,
+			SimTime:       Sample{Median: simC * work, Count: 1},
+			InnerTime:     Sample{Median: ipC * work, Count: 1},
+		})
+	}
+	return res
+}
+
+func TestFitCostModelRecoversLaw(t *testing.T) {
+	res := syntheticSweep(3.0, 0.55, 40, []int{1, 2, 3, 4, 5})
+	cm, err := FitCostModel(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cm.ChiA-3.0) > 0.01 || math.Abs(cm.ChiB-0.55) > 0.001 {
+		t.Fatalf("fit χ(d)=%.3f·e^(%.3f d), want 3·e^(0.55 d)", cm.ChiA, cm.ChiB)
+	}
+	// Extrapolated χ at d=8.
+	want := 3.0 * math.Exp(0.55*8)
+	if got := cm.PredictChi(8); math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("PredictChi(8)=%v, want %v", got, want)
+	}
+	// Predicted sim time must match the synthetic generating law.
+	chi6 := 3.0 * math.Exp(0.55*6)
+	wantSim := 2e-9 * 40 * chi6 * chi6 * chi6
+	if got := cm.PredictSimSeconds(40, 6); math.Abs(got-wantSim)/wantSim > 0.02 {
+		t.Fatalf("PredictSimSeconds=%v, want %v", got, wantSim)
+	}
+}
+
+func TestFitCostModelErrors(t *testing.T) {
+	if _, err := FitCostModel(&Fig5Result{}); err == nil {
+		t.Fatal("empty sweep must error")
+	}
+	res := syntheticSweep(2, 0.5, 20, []int{3, 3}) // degenerate grid
+	if _, err := FitCostModel(res); err == nil {
+		t.Fatal("degenerate distance grid must error")
+	}
+	bad := syntheticSweep(2, 0.5, 20, []int{1, 2})
+	bad.Serial[1].AvgLargestChi = 0
+	if _, err := FitCostModel(bad); err == nil {
+		t.Fatal("zero χ must error")
+	}
+}
+
+func TestPredictGramSecondsScaling(t *testing.T) {
+	res := syntheticSweep(2.5, 0.5, 30, []int{1, 2, 3, 4})
+	cm, err := FitCostModel(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling processes must halve the prediction.
+	t1 := cm.PredictGramSeconds(30, 2, 1000, 10)
+	t2 := cm.PredictGramSeconds(30, 2, 1000, 20)
+	if math.Abs(t1/t2-2) > 1e-9 {
+		t.Fatalf("procs scaling wrong: %v vs %v", t1, t2)
+	}
+	// Doubling data (at fixed procs) must grow the quadratic term ≈4×.
+	small := cm.PredictGramSeconds(30, 2, 1000, 10)
+	big := cm.PredictGramSeconds(30, 2, 2000, 10)
+	if big < 3*small {
+		t.Fatalf("quadratic term not dominating: %v vs %v", small, big)
+	}
+	if cm.PredictGramSeconds(30, 2, 100, 0) <= 0 {
+		t.Fatal("procs=0 must clamp, not divide by zero")
+	}
+}
+
+func TestFitCostModelOnRealSweep(t *testing.T) {
+	// End-to-end: fit from an actual miniature sweep; the fitted model must
+	// predict the measured top point within a generous factor.
+	res, err := RunFig5TableI(Fig5Params{
+		Qubits:    12,
+		Layers:    1,
+		Gamma:     1.0,
+		Distances: []int{1, 2, 3},
+		Circuits:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := FitCostModel(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.ChiB <= 0 {
+		t.Fatalf("χ growth rate should be positive, got %v", cm.ChiB)
+	}
+	pred := cm.PredictSimSeconds(12, 3)
+	meas := res.Serial[2].SimTime.Median
+	if pred <= 0 || meas <= 0 {
+		t.Fatal("missing timing data")
+	}
+	ratio := pred / meas
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("calibrated prediction off by >10×: pred %v, measured %v", pred, meas)
+	}
+	if cm.String() == "" {
+		t.Fatal("String broken")
+	}
+	_ = time.Second
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTruncationNoiseSmallRun(t *testing.T) {
+	res, err := RunTruncationNoise(NoiseParams{
+		Features: 8,
+		DataSize: 24,
+		Distance: 2,
+		Gamma:    0.7,
+		Budgets:  []float64{1e-16, 1e-4, 1e-1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("point count %d", len(res.Points))
+	}
+	// χ must not increase as the budget loosens.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].AvgMaxChi > res.Points[i-1].AvgMaxChi+1e-9 {
+			t.Fatalf("χ grew with looser budget: %v → %v",
+				res.Points[i-1].AvgMaxChi, res.Points[i].AvgMaxChi)
+		}
+	}
+	// Kernel deviation must grow (weakly) with the budget.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.MaxKernelDev < first.MaxKernelDev {
+		t.Fatalf("kernel deviation should grow with budget: %v → %v",
+			first.MaxKernelDev, last.MaxKernelDev)
+	}
+	// At the noiseless budget the kernel must match the exact one closely.
+	if first.MaxKernelDev > 1e-8 {
+		t.Fatalf("noiseless budget deviates: %v", first.MaxKernelDev)
+	}
+	// Fidelity lower bound consistent with the recorded error.
+	for _, pt := range res.Points {
+		if pt.MeanFidelityLB > 1+1e-12 || pt.MeanFidelityLB < 0 {
+			t.Fatalf("fidelity bound out of range: %v", pt.MeanFidelityLB)
+		}
+		if pt.TestAUC < 0 || pt.TestAUC > 1 {
+			t.Fatalf("AUC out of range: %v", pt.TestAUC)
+		}
+	}
+	if got := res.Table().Render(); !strings.Contains(got, "budget") {
+		t.Fatal("table render broken")
+	}
+	if res.ChiReduction() < 1 {
+		t.Fatalf("χ reduction %v should be ≥1", res.ChiReduction())
+	}
+}

@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestGramExtenderMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := defaultQuantum(5)
+	X := testData(rng, 7, 5)
+	batch, err := q.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewGramExtender(q)
+	for i, x := range X {
+		idx, err := e.Add(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("index %d, want %d", idx, i)
+		}
+	}
+	got := e.Gram()
+	for i := range batch {
+		for j := range batch[i] {
+			if math.Abs(got[i][j]-batch[i][j]) > 1e-9 {
+				t.Fatalf("entry (%d,%d): incremental %v, batch %v", i, j, got[i][j], batch[i][j])
+			}
+		}
+	}
+	if e.Len() != 7 {
+		t.Fatalf("Len %d", e.Len())
+	}
+	if e.MemoryBytes() <= 0 {
+		t.Fatal("no memory accounted")
+	}
+}
+
+func TestGramExtenderKernelRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := defaultQuantum(4)
+	X := testData(rng, 5, 4)
+	e := NewGramExtender(q)
+	for _, x := range X {
+		if _, err := e.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xNew := testData(rng, 1, 4)[0]
+	row, err := e.KernelRow(xNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Cross([][]float64{xNew}, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range row {
+		if math.Abs(row[j]-want[0][j]) > 1e-9 {
+			t.Fatalf("row[%d] = %v, want %v", j, row[j], want[0][j])
+		}
+	}
+}
+
+func TestGramExtenderConcurrentAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := defaultQuantum(4)
+	X := testData(rng, 12, 4)
+	e := NewGramExtender(q)
+	var wg sync.WaitGroup
+	errs := make([]error, len(X))
+	for i, x := range X {
+		wg.Add(1)
+		go func(i int, x []float64) {
+			defer wg.Done()
+			_, errs[i] = e.Add(x)
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := e.Gram()
+	if len(g) != len(X) {
+		t.Fatalf("gram size %d", len(g))
+	}
+	if err := ValidateGram(g, 1e-8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramExtenderPropagatesErrors(t *testing.T) {
+	q := defaultQuantum(4)
+	e := NewGramExtender(q)
+	if _, err := e.Add([]float64{1, 2}); err == nil {
+		t.Fatal("wrong width must error")
+	}
+	if _, err := e.KernelRow([]float64{1}); err == nil {
+		t.Fatal("wrong width must error")
+	}
+}

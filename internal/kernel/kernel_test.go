@@ -1,0 +1,239 @@
+package kernel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/dataset"
+	"repro/internal/mps"
+	"repro/internal/statevector"
+)
+
+func testData(rng *rand.Rand, n, m int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, m)
+		for j := range X[i] {
+			X[i][j] = rng.Float64() * 2
+		}
+	}
+	return X
+}
+
+func defaultQuantum(m int) *Quantum {
+	return &Quantum{
+		Ansatz: circuit.Ansatz{Qubits: m, Layers: 2, Distance: 1, Gamma: 0.5},
+	}
+}
+
+func TestStateNormalised(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := defaultQuantum(6)
+	st, err := q.State(testData(rng, 1, 6)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Norm()-1) > 1e-9 {
+		t.Fatalf("state norm %v", st.Norm())
+	}
+}
+
+func TestStatesMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := defaultQuantum(5)
+	X := testData(rng, 6, 5)
+	states, err := q.States(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		single, err := q.State(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov := mps.Overlap(states[i], single); math.Abs(ov-1) > 1e-9 {
+			t.Fatalf("parallel state %d differs from sequential: overlap %v", i, ov)
+		}
+	}
+}
+
+func TestGramProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := defaultQuantum(5)
+	X := testData(rng, 8, 5)
+	k, err := q.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGram(k, 1e-8, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := circuit.Ansatz{Qubits: 4, Layers: 1, Distance: 2, Gamma: 0.7}
+	q := &Quantum{Ansatz: a}
+	X := testData(rng, 5, 4)
+	k, err := q.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle Gram from dense simulation.
+	svs := make([]*statevector.State, len(X))
+	for i, x := range X {
+		c, err := a.Build(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svs[i] = statevector.Run(c)
+	}
+	for i := range X {
+		for j := range X {
+			want := cmplx.Abs(statevector.Inner(svs[i], svs[j]))
+			want *= want
+			if math.Abs(k[i][j]-want) > 1e-8 {
+				t.Fatalf("K[%d][%d] = %v, oracle %v", i, j, k[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCrossKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := defaultQuantum(4)
+	Xtr := testData(rng, 6, 4)
+	Xte := testData(rng, 3, 4)
+	kc, err := q.Cross(Xte, Xtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kc) != 3 || len(kc[0]) != 6 {
+		t.Fatalf("cross kernel shape %d×%d", len(kc), len(kc[0]))
+	}
+	for i := range kc {
+		for j := range kc[i] {
+			if kc[i][j] < 0 || kc[i][j] > 1+1e-9 {
+				t.Fatalf("cross entry (%d,%d) = %v outside [0,1]", i, j, kc[i][j])
+			}
+		}
+	}
+}
+
+func TestStatePropagatesAnsatzErrors(t *testing.T) {
+	q := &Quantum{Ansatz: circuit.Ansatz{Qubits: 3, Layers: 0, Distance: 1, Gamma: 1}}
+	if _, err := q.State([]float64{1, 1, 1}); err == nil {
+		t.Fatal("invalid ansatz must error")
+	}
+	q2 := defaultQuantum(3)
+	if _, err := q2.States([][]float64{{1, 1}}); err == nil {
+		t.Fatal("wrong feature count must error")
+	}
+}
+
+func TestGaussianKernelKnown(t *testing.T) {
+	g := Gaussian{Alpha: 0.5}
+	x := []float64{0, 0}
+	y := []float64{1, 1}
+	want := math.Exp(-0.5 * 2)
+	if got := g.Entry(x, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Entry = %v, want %v", got, want)
+	}
+	if g.Entry(x, x) != 1 {
+		t.Fatal("self-similarity must be 1")
+	}
+}
+
+func TestGaussianGramValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X := testData(rng, 10, 4)
+	g := Gaussian{Alpha: 0.3}
+	k := g.Gram(X)
+	if err := ValidateGram(k, 1e-9, true); err != nil {
+		t.Fatal(err)
+	}
+	kc := g.Cross(X[:3], X)
+	for i := 0; i < 3; i++ {
+		for j := range X {
+			if math.Abs(kc[i][j]-k[i][j]) > 1e-12 {
+				t.Fatal("cross kernel disagrees with Gram on shared rows")
+			}
+		}
+	}
+}
+
+func TestNewGaussianFromData(t *testing.T) {
+	d := &dataset.Dataset{
+		X: [][]float64{{0, 0}, {2, 2}, {0, 2}, {2, 0}},
+		Y: []int{1, -1, 1, -1},
+	}
+	g := NewGaussianFromData(d)
+	// var per feature = 4/3; m=2 → α = 1/(2·4/3) = 0.375.
+	if math.Abs(g.Alpha-0.375) > 1e-12 {
+		t.Fatalf("α = %v, want 0.375", g.Alpha)
+	}
+	// Degenerate dataset falls back to α=1.
+	g2 := NewGaussianFromData(&dataset.Dataset{})
+	if g2.Alpha != 1 {
+		t.Fatalf("fallback α = %v", g2.Alpha)
+	}
+}
+
+func TestValidateGramRejects(t *testing.T) {
+	if err := ValidateGram(nil, 1e-9, false); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if err := ValidateGram([][]float64{{1, 0}}, 1e-9, false); err == nil {
+		t.Fatal("ragged must fail")
+	}
+	if err := ValidateGram([][]float64{{0.5, 0}, {0, 1}}, 1e-9, false); err == nil {
+		t.Fatal("bad diagonal must fail")
+	}
+	if err := ValidateGram([][]float64{{1, 0.5}, {0.2, 1}}, 1e-9, false); err == nil {
+		t.Fatal("asymmetry must fail")
+	}
+	if err := ValidateGram([][]float64{{1, 1.5}, {1.5, 1}}, 1e-9, false); err == nil {
+		t.Fatal("out-of-range entry must fail")
+	}
+	// A symmetric matrix with unit diagonal that is NOT PSD:
+	// [[1, 0.9, 0], [0.9, 1, 0.9], [0, 0.9, 1]] has a negative eigenvalue.
+	notPSD := [][]float64{{1, 0.9, 0}, {0.9, 1, 0.9}, {0, 0.9, 1}}
+	if err := ValidateGram(notPSD, 1e-9, true); err == nil {
+		t.Fatal("non-PSD matrix must fail the PSD check")
+	}
+}
+
+func TestMeasureConcentration(t *testing.T) {
+	k := [][]float64{{1, 0.5}, {0.5, 1}}
+	c := MeasureConcentration(k)
+	if math.Abs(c.Mean-0.5) > 1e-12 || c.Var > 1e-12 {
+		t.Fatalf("concentration %+v", c)
+	}
+	if MeasureConcentration([][]float64{{1}}).Mean != 0 {
+		t.Fatal("1×1 matrix should have zero stats")
+	}
+}
+
+func TestKernelConcentrationWithDepth(t *testing.T) {
+	// The paper's Table III mechanism: deeper ansatz repetitions concentrate
+	// the kernel (off-diagonal variance shrinks, entries → small).
+	rng := rand.New(rand.NewSource(9))
+	X := testData(rng, 6, 5)
+	shallow := &Quantum{Ansatz: circuit.Ansatz{Qubits: 5, Layers: 1, Distance: 1, Gamma: 0.3}}
+	deep := &Quantum{Ansatz: circuit.Ansatz{Qubits: 5, Layers: 8, Distance: 1, Gamma: 0.3}}
+	ks, err := shallow.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := deep.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, cd := MeasureConcentration(ks), MeasureConcentration(kd)
+	if cd.Mean >= cs.Mean {
+		t.Fatalf("deep kernel mean %v should drop below shallow %v", cd.Mean, cs.Mean)
+	}
+}

@@ -1,0 +1,156 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func defaultProjected(m int) *Projected {
+	return &Projected{
+		Quantum: &Quantum{Ansatz: circuit.Ansatz{Qubits: m, Layers: 2, Distance: 1, Gamma: 0.5}},
+	}
+}
+
+func TestProjectedFeaturesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := defaultProjected(5)
+	X := testData(rng, 4, 5)
+	feats, err := p.Features(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 4 {
+		t.Fatalf("feature rows %d", len(feats))
+	}
+	for _, row := range feats {
+		if len(row) != 5 {
+			t.Fatalf("qubit RDM count %d", len(row))
+		}
+		for _, rho := range row {
+			if rho.Rows != 2 || rho.Cols != 2 {
+				t.Fatalf("RDM shape %d×%d", rho.Rows, rho.Cols)
+			}
+			if !rho.IsHermitian(1e-9) {
+				t.Fatal("RDM not Hermitian")
+			}
+		}
+	}
+}
+
+func TestProjectedGramValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := defaultProjected(5)
+	X := testData(rng, 7, 5)
+	k, err := p.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGram(k, 1e-8, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectedSelfSimilarityOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := defaultProjected(4)
+	X := testData(rng, 2, 4)
+	feats, err := p.Features(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Entry(feats[0], feats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Fatalf("self-similarity %v", v)
+	}
+}
+
+func TestProjectedIdenticalPointsMaxSimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := defaultProjected(4)
+	x := testData(rng, 1, 4)[0]
+	k, err := p.Gram([][]float64{x, append([]float64(nil), x...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k[0][1]-1) > 1e-9 {
+		t.Fatalf("identical points should have kernel 1, got %v", k[0][1])
+	}
+}
+
+func TestProjectedCrossConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := defaultProjected(4)
+	X := testData(rng, 5, 4)
+	gram, err := p.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := p.Cross(X[:2], X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := range X {
+			if math.Abs(cross[i][j]-gram[i][j]) > 1e-10 {
+				t.Fatalf("cross/gram mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestProjectedGammaP(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X := testData(rng, 2, 4)
+	narrow := &Projected{Quantum: defaultProjected(4).Quantum, GammaP: 10}
+	wide := &Projected{Quantum: defaultProjected(4).Quantum, GammaP: 0.1}
+	kn, err := narrow.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw, err := wide.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn[0][1] >= kw[0][1] {
+		t.Fatalf("larger γ_p must shrink off-diagonal: %v vs %v", kn[0][1], kw[0][1])
+	}
+}
+
+func TestProjectedEntryLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p4, p5 := defaultProjected(4), defaultProjected(5)
+	f4, err := p4.Features(testData(rng, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := p5.Features(testData(rng, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p4.Entry(f4[0], f5[0]); err == nil {
+		t.Fatal("mismatched qubit counts must error")
+	}
+}
+
+// TestProjectedKernelDiscriminates: the projected kernel must assign higher
+// similarity to nearby data points than to distant ones — the basic property
+// a kernel needs to be useful to the SVM downstream.
+func TestProjectedKernelDiscriminates(t *testing.T) {
+	p := defaultProjected(4)
+	base := []float64{0.5, 1.0, 1.5, 0.8}
+	near := []float64{0.55, 1.02, 1.48, 0.82}
+	far := []float64{1.9, 0.1, 0.3, 1.7}
+	k, err := p.Gram([][]float64{base, near, far})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[0][1] <= k[0][2] {
+		t.Fatalf("near point similarity %v should exceed far point %v", k[0][1], k[0][2])
+	}
+}

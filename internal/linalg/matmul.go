@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the flop count (2·m·n·k) above which MatMul
+// spreads row blocks across goroutines. Below it the serial kernel is faster
+// because goroutine scheduling dominates.
+const matmulParallelThreshold = 1 << 20
+
+// MatMul returns a·b using a cache-friendly ikj kernel, parallelising over
+// row blocks for large products. Panics if the inner dimensions disagree.
+//
+// This is the convenience entry point used across the repository; code that
+// needs explicit control over serial vs parallel execution (the backend
+// crossover experiments) calls MatMulSerial and MatMulParallel directly.
+func MatMul(a, b *Matrix) *Matrix {
+	if 2*a.Rows*a.Cols*b.Cols >= matmulParallelThreshold {
+		return MatMulParallel(a, b, runtime.GOMAXPROCS(0))
+	}
+	return MatMulSerial(a, b)
+}
+
+// MatMulSerial returns a·b computed on the calling goroutine only.
+func MatMulSerial(a, b *Matrix) *Matrix {
+	checkMulShapes(a, b)
+	c := NewMatrix(a.Rows, b.Cols)
+	mulRows(a, b, c, 0, a.Rows)
+	return c
+}
+
+// MatMulParallel returns a·b with row blocks distributed over up to workers
+// goroutines. workers < 1 is treated as 1.
+func MatMulParallel(a, b *Matrix, workers int) *Matrix {
+	checkMulShapes(a, b)
+	c := NewMatrix(a.Rows, b.Cols)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		mulRows(a, b, c, 0, a.Rows)
+		return c
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRows(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// mulRows computes rows [lo, hi) of c = a·b with an ikj loop order so the
+// innermost loop streams contiguously through b and c.
+func mulRows(a, b, c *Matrix, lo, hi int) {
+	n := b.Cols
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func checkMulShapes(a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMul inner dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatVec returns a·x for a column vector x (len == a.Cols).
+func MatVec(a *Matrix, x []complex128) []complex128 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("linalg: MatVec length mismatch %d×%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]complex128, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnownProduct(t *testing.T) {
+	a := FromSlice(2, 3, []complex128{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []complex128{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := FromSlice(2, 2, []complex128{58, 64, 139, 154})
+	if !c.EqualApprox(want, 1e-12) {
+		t.Fatalf("got %v want %v", c.Data, want.Data)
+	}
+}
+
+func TestMatMulComplexEntries(t *testing.T) {
+	a := FromSlice(1, 2, []complex128{1i, 2})
+	b := FromSlice(2, 1, []complex128{3, 4i})
+	c := MatMul(a, b)
+	if c.At(0, 0) != 3i+8i {
+		t.Fatalf("got %v want 11i", c.At(0, 0))
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Random(rng, 5, 7)
+	if !MatMul(Identity(5), a).EqualApprox(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+	if !MatMul(a, Identity(7)).EqualApprox(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatMulSerialParallelAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sz := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 64, 64}, {100, 3, 100}} {
+		a := Random(rng, sz[0], sz[1])
+		b := Random(rng, sz[1], sz[2])
+		s := MatMulSerial(a, b)
+		for _, workers := range []int{1, 2, 4, 16, 100} {
+			p := MatMulParallel(a, b, workers)
+			if !s.EqualApprox(p, 1e-10) {
+				t.Fatalf("serial/parallel disagree at %v workers=%d", sz, workers)
+			}
+		}
+	}
+}
+
+func TestMatMulParallelZeroWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := Random(rng, 4, 4), Random(rng, 4, 4)
+	if !MatMulParallel(a, b, 0).EqualApprox(MatMulSerial(a, b), 1e-12) {
+		t.Fatal("workers=0 should degrade to serial")
+	}
+}
+
+// Property: (A·B)† == B†·A†.
+func TestPropertyMatMulAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := Random(rng, m, k), Random(rng, k, n)
+		left := MatMul(a, b).ConjTranspose()
+		right := MatMul(b.ConjTranspose(), a.ConjTranspose())
+		return left.EqualApprox(right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul is associative — (AB)C == A(BC).
+func TestPropertyMatMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, l, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b, c := Random(rng, m, k), Random(rng, k, l), Random(rng, l, n)
+		return MatMul(MatMul(a, b), c).EqualApprox(MatMul(a, MatMul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unitary factors preserve the Frobenius norm of a product.
+func TestPropertyUnitaryNormPreserving(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		u := RandomUnitary(rng, n)
+		a := Random(rng, n, n)
+		got := MatMul(u, a).FrobeniusNorm()
+		return absDiff(got, a.FrobeniusNorm()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkMatMulSerial64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := Random(rng, 64, 64), Random(rng, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulSerial(x, y)
+	}
+}
+
+func BenchmarkMatMulParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := Random(rng, 256, 256), Random(rng, 256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulParallel(x, y, 8)
+	}
+}

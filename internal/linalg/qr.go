@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// QR computes the thin QR decomposition a = q·r via complex Householder
+// reflections.
+//
+// For an m×n input with m ≥ n, q is m×n with orthonormal columns and r is n×n
+// upper triangular. For m < n, q is m×m unitary and r is m×n upper
+// trapezoidal. QR underpins MPS canonicalisation (internal/mps), where site
+// tensors are repeatedly orthogonalised before SVD truncation.
+func QR(a *Matrix) (q, r *Matrix) {
+	return qrHouseholder(a, 1)
+}
+
+// QRParallel is QR with each Householder reflector's independent column
+// updates distributed over up to workers goroutines — the QR kernel of the
+// parallel (accelerator-role) backend. Small matrices fall back to the
+// serial path because per-reflector synchronisation would dominate.
+func QRParallel(a *Matrix, workers int) (q, r *Matrix) {
+	if workers < 1 {
+		workers = 1
+	}
+	return qrHouseholder(a, workers)
+}
+
+func qrHouseholder(a *Matrix, workers int) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	k := m
+	if n < k {
+		k = n
+	}
+	// work holds the in-progress R; vs holds the Householder vectors, each
+	// padded to length m with zeros above its pivot row.
+	work := a.Clone()
+	vs := make([][]complex128, 0, k)
+	betas := make([]float64, 0, k)
+
+	for j := 0; j < k; j++ {
+		// Build the reflector annihilating work[j+1:, j].
+		v := make([]complex128, m)
+		var colNorm float64
+		for i := j; i < m; i++ {
+			v[i] = work.At(i, j)
+			colNorm += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		colNorm = math.Sqrt(colNorm)
+		if colNorm == 0 {
+			vs = append(vs, v)
+			betas = append(betas, 0)
+			continue
+		}
+		// alpha = -phase(v[j]) * ||x||, so v[j] - alpha never cancels.
+		phase := complex(1, 0)
+		if cmplx.Abs(v[j]) > 0 {
+			phase = v[j] / complex(cmplx.Abs(v[j]), 0)
+		}
+		alpha := -phase * complex(colNorm, 0)
+		v[j] -= alpha
+		var vnorm2 float64
+		for i := j; i < m; i++ {
+			vnorm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		var beta float64
+		if vnorm2 > 0 {
+			beta = 2 / vnorm2
+		}
+		vs = append(vs, v)
+		betas = append(betas, beta)
+		if beta == 0 {
+			continue
+		}
+		// Apply H = I − β v v† to work[:, j:].
+		applyHouseholder(work, v, beta, j, workers)
+	}
+
+	r = NewMatrix(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+
+	// Form thin Q: apply reflectors in reverse to the first k identity columns.
+	q = NewMatrix(m, k)
+	for j := 0; j < k; j++ {
+		q.Set(j, j, 1)
+	}
+	for idx := len(vs) - 1; idx >= 0; idx-- {
+		if betas[idx] == 0 {
+			continue
+		}
+		applyHouseholder(q, vs[idx], betas[idx], idx, workers)
+	}
+	return q, r
+}
+
+// qrParallelThreshold is the per-reflector work (rows × cols) above which
+// column updates are distributed over goroutines.
+const qrParallelThreshold = 1 << 14
+
+// applyHouseholder routes to the serial or column-parallel reflector.
+func applyHouseholder(m *Matrix, v []complex128, beta float64, pivot, workers int) {
+	if workers <= 1 || (m.Rows-pivot)*m.Cols < qrParallelThreshold {
+		applyHouseholderLeft(m, v, beta, pivot)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Cols + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m.Cols {
+			hi = m.Cols
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			applyHouseholderCols(m, v, beta, pivot, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// applyHouseholderLeft applies (I − β v v†) to rows [pivot, Rows) of m,
+// touching columns [pivot, Cols) only when the caller guarantees zeros to the
+// left (true for the R build); for the Q build we touch all columns ≥ 0, so we
+// conservatively start at column 0.
+func applyHouseholderLeft(m *Matrix, v []complex128, beta float64, pivot int) {
+	applyHouseholderCols(m, v, beta, pivot, 0, m.Cols)
+}
+
+// applyHouseholderCols applies the reflector to columns [colLo, colHi) only;
+// disjoint column ranges are independent, enabling the parallel path.
+func applyHouseholderCols(m *Matrix, v []complex128, beta float64, pivot, colLo, colHi int) {
+	rows, cols := m.Rows, m.Cols
+	for j := colLo; j < colHi; j++ {
+		// w = v† · m[:, j]
+		var w complex128
+		for i := pivot; i < rows; i++ {
+			w += cmplx.Conj(v[i]) * m.Data[i*cols+j]
+		}
+		if w == 0 {
+			continue
+		}
+		w *= complex(beta, 0)
+		for i := pivot; i < rows; i++ {
+			m.Data[i*cols+j] -= w * v[i]
+		}
+	}
+}
+
+// LQ computes the thin LQ decomposition a = l·q, where q has orthonormal rows
+// and l is lower triangular/trapezoidal. It is derived from QR of a†:
+// a† = Q̃R̃  ⇒  a = R̃†Q̃†. Used for right-canonicalising MPS site tensors.
+func LQ(a *Matrix) (l, q *Matrix) {
+	qt, rt := QR(a.ConjTranspose())
+	return rt.ConjTranspose(), qt.ConjTranspose()
+}

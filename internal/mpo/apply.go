@@ -1,0 +1,60 @@
+package mpo
+
+import (
+	"fmt"
+
+	"repro/internal/mps"
+	"repro/internal/tensor"
+)
+
+// ApplyTo computes O|ψ⟩ as a new MPS: each ket site tensor is contracted
+// with the matching MPO site, fusing the virtual bonds (χ → χ·w), and the
+// result is recompressed against the given truncation budget (0 selects the
+// simulator default; negative disables truncation).
+//
+// The returned state is generally NOT normalised — for a Hamiltonian MPO its
+// norm is ‖H|ψ⟩‖ = sqrt(⟨H²⟩). The truncation budget is interpreted as an
+// absolute discarded weight relative to that unnormalised state. The input
+// state is not modified.
+func (o *MPO) ApplyTo(m *mps.MPS, budget float64) (*mps.MPS, error) {
+	if o.N != m.N {
+		return nil, fmt.Errorf("mpo: operator on %d qubits, state on %d", o.N, m.N)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	out := m.Clone()
+	for i := 0; i < o.N; i++ {
+		a := out.Sites[i] // (l, 2in, r)
+		w := o.Sites[i]   // (wl, 2out, 2in, wr)
+		// Contract over the input physical index:
+		// T[l, r, wl, out, wr] = Σ_in a[l,in,r]·w[wl,out,in,wr]
+		t := tensor.Contract(a, w, []int{1}, []int{2})
+		// → (l, wl, out, r, wr), fused as ((l·wl), 2, (r·wr)).
+		t = t.Transpose(0, 2, 3, 1, 4)
+		l, wl := a.Shape[0], w.Shape[0]
+		r, wr := a.Shape[2], w.Shape[3]
+		out.Sites[i] = t.Reshape(l*wl, 2, r*wr)
+	}
+	out.MarkNonCanonical()
+	if _, err := out.Compress(budget, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Variance computes Var(O) = ⟨O²⟩ − ⟨O⟩² on the state by applying the MPO
+// once: ⟨O²⟩ = ‖O|ψ⟩‖² for Hermitian O. For the encoding Hamiltonian this
+// measures how sharply the data point pins the energy of its encoded state.
+func (o *MPO) Variance(m *mps.MPS) (float64, error) {
+	ev, err := o.Expectation(m)
+	if err != nil {
+		return 0, err
+	}
+	applied, err := o.ApplyTo(m, 0)
+	if err != nil {
+		return 0, err
+	}
+	n := applied.Norm()
+	return n*n - real(ev)*real(ev), nil
+}

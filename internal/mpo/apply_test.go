@@ -1,0 +1,130 @@
+package mpo
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/mps"
+	"repro/internal/statevector"
+)
+
+func encodedState(t *testing.T, a circuit.Ansatz, x []float64) *mps.MPS {
+	t.Helper()
+	c, err := a.BuildRouted(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mps.NewZeroState(a.Qubits, mps.Config{})
+	if err := st.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestApplyIdentityIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := circuit.Ansatz{Qubits: 5, Layers: 1, Distance: 2, Gamma: 0.6}
+	st := encodedState(t, a, randomData(rng, 5))
+	out, err := Identity(5).ApplyTo(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := mps.Overlap(st, out); math.Abs(ov-1) > 1e-9 {
+		t.Fatalf("I|ψ⟩ differs from |ψ⟩: overlap %v", ov)
+	}
+}
+
+func TestApplyMatchesDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := circuit.Ansatz{Qubits: 5, Layers: 1, Distance: 2, Gamma: 0.7}
+	x := randomData(rng, 5)
+	st := encodedState(t, a, x)
+
+	o, err := EncodingHamiltonian(x, a.Gamma, a.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := o.ApplyTo(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: dense H times dense ψ.
+	c, _ := a.Build(x)
+	sv := statevector.Run(c)
+	h := denseEncodingHamiltonian(x, a.Gamma, a.Distance)
+	want := linalg.MatVec(h, sv.Amp)
+	got := applied.ToStateVector()
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("amplitude %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestApplyConsistentWithExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.5}
+	x := randomData(rng, 6)
+	st := encodedState(t, a, x)
+	o, err := EncodingHamiltonian(x, a.Gamma, a.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := o.ApplyTo(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⟨ψ|H|ψ⟩ computed two ways must agree.
+	direct, err := o.Expectation(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaApply := mps.Inner(st, applied)
+	if cmplx.Abs(direct-viaApply) > 1e-8 {
+		t.Fatalf("⟨H⟩ mismatch: sandwich %v, apply-then-inner %v", direct, viaApply)
+	}
+}
+
+func TestVarianceNonNegativeAndOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := circuit.Ansatz{Qubits: 5, Layers: 1, Distance: 1, Gamma: 0.8}
+	x := randomData(rng, 5)
+	st := encodedState(t, a, x)
+	o, err := EncodingHamiltonian(x, a.Gamma, a.Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := o.Variance(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < -1e-8 {
+		t.Fatalf("variance %v negative", v)
+	}
+	// Oracle: dense ⟨H²⟩ − ⟨H⟩².
+	c, _ := a.Build(x)
+	sv := statevector.Run(c)
+	h := denseEncodingHamiltonian(x, a.Gamma, a.Distance)
+	hv := linalg.MatVec(h, sv.Amp)
+	var e1 complex128
+	var e2 float64
+	for i, amp := range sv.Amp {
+		e1 += cmplx.Conj(amp) * hv[i]
+		e2 += real(hv[i])*real(hv[i]) + imag(hv[i])*imag(hv[i])
+	}
+	want := e2 - real(e1)*real(e1)
+	if math.Abs(v-want) > 1e-7*(1+math.Abs(want)) {
+		t.Fatalf("variance %v, oracle %v", v, want)
+	}
+}
+
+func TestApplySizeMismatch(t *testing.T) {
+	st := mps.NewZeroState(3, mps.Config{})
+	if _, err := Identity(4).ApplyTo(st, 0); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}

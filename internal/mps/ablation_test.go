@@ -1,0 +1,90 @@
+package mps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestSkipCanonicalizationStillCorrect: without centre moves the truncation
+// is suboptimal (paper footnote 2), but at the default near-zero budget the
+// state must still match the canonical simulation.
+func TestSkipCanonicalizationStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 2, Gamma: 0.7}
+	x := randomData(rng, 8)
+	canonical := buildAnsatzMPS(t, a, x, Config{})
+	skipped := buildAnsatzMPS(t, a, x, Config{SkipCanonicalization: true})
+	if ov := Overlap(canonical, skipped); math.Abs(ov-1) > 1e-8 {
+		t.Fatalf("skip-canonicalisation state diverged: overlap %v", ov)
+	}
+}
+
+// TestSkipCanonicalizationObservablesRecover: RDMs re-canonicalise
+// internally, so they must agree with the canonical run even when the state
+// was built without centre maintenance.
+func TestSkipCanonicalizationObservablesRecover(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.5}
+	x := randomData(rng, 6)
+	canonical := buildAnsatzMPS(t, a, x, Config{})
+	skipped := buildAnsatzMPS(t, a, x, Config{SkipCanonicalization: true})
+	for q := 0; q < 6; q++ {
+		r1, err := canonical.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := skipped.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.EqualApprox(r2, 1e-8) {
+			t.Fatalf("RDM %d differs after skip-canonicalisation", q)
+		}
+	}
+	h1, err := canonical.EntanglementEntropy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := skipped.EntanglementEntropy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h1-h2) > 1e-8 {
+		t.Fatalf("entropy differs: %v vs %v", h1, h2)
+	}
+}
+
+// TestSkipCanonicalizationChiNotSmaller: without canonical form, SVD
+// truncation sees non-optimal singular spectra, so the bond dimension under
+// an aggressive budget is at least as large as (usually larger than) the
+// canonical run's — the cost the paper's canonicalisation avoids.
+func TestSkipCanonicalizationChiNotSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := circuit.Ansatz{Qubits: 10, Layers: 2, Distance: 3, Gamma: 0.8}
+	x := randomData(rng, 10)
+	cfgBase := Config{TruncationBudget: 1e-8}
+	canonical := buildAnsatzMPS(t, a, x, cfgBase)
+	cfgSkip := cfgBase
+	cfgSkip.SkipCanonicalization = true
+	skipped := buildAnsatzMPS(t, a, x, cfgSkip)
+	if skipped.MaxBond() < canonical.MaxBond() {
+		t.Fatalf("skip-canonicalisation produced smaller χ (%d < %d) — unexpected",
+			skipped.MaxBond(), canonical.MaxBond())
+	}
+}
+
+func TestCanonicalFlagTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	a := circuit.Ansatz{Qubits: 5, Layers: 1, Distance: 1, Gamma: 0.5}
+	x := randomData(rng, 5)
+	skipped := buildAnsatzMPS(t, a, x, Config{SkipCanonicalization: true})
+	// CheckCanonical should fail for the skipped state (or the invariant
+	// coincidentally holds, which is fine) — but ensureCanonical must repair
+	// it so observables work; exercised via a Schmidt query.
+	if _, err := skipped.SchmidtValues(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package mps
+
+import (
+	"repro/internal/tensor"
+)
+
+// Compress re-truncates the state in place against a new error budget and/or
+// bond cap, without applying any gate: the state is first brought fully
+// right-canonical, then a left-to-right SVD sweep truncates every bond
+// optimally. Useful after building a state with the noiseless default when a
+// smaller representation is wanted for storage or for shipping between
+// processes (section II-D), or to study truncation noise post hoc
+// (cmd/truncnoise explores the training-time variant).
+//
+// Returns the total discarded weight Σs², which is also added to
+// TruncationError. The budget argument follows Config.TruncationBudget
+// semantics (0 selects the default, negative disables weight-based cuts);
+// maxBond ≤ 0 leaves the bond cap unlimited.
+func (m *MPS) Compress(budget float64, maxBond int) (float64, error) {
+	if m.N == 1 {
+		return 0, nil
+	}
+	if budget == 0 {
+		budget = DefaultTruncationBudget
+	}
+	// Bring the centre to site 0 (everything right of it right-canonical),
+	// valid from any starting state.
+	m.ensureCanonical()
+	m.moveCenterTo(0)
+
+	saveBudget, saveMax := m.cfg.TruncationBudget, m.cfg.MaxBond
+	m.cfg.TruncationBudget = budget
+	if maxBond > 0 {
+		m.cfg.MaxBond = maxBond
+	} else {
+		m.cfg.MaxBond = 0
+	}
+	defer func() {
+		m.cfg.TruncationBudget, m.cfg.MaxBond = saveBudget, saveMax
+	}()
+
+	var discarded float64
+	for i := 0; i+1 < m.N; i++ {
+		// Centre is at site i: SVD it across (l·2 | r), truncate, keep the
+		// isometry at site i and absorb diag(S)·V† into site i+1.
+		site := m.Sites[i] // (l, 2, r)
+		l, r := site.Shape[0], site.Shape[2]
+		mat := site.Matricize(0, 1)
+		res := m.cfg.Backend.SVD(mat)
+		keep, d := m.truncationCut(res.S)
+		tr, _ := res.Truncate(keep)
+		discarded += d
+
+		m.Sites[i] = tensor.FromData(tr.U.Data, l, 2, keep)
+		carry := tr.V.ConjTranspose() // (keep × r)
+		for row := 0; row < keep; row++ {
+			f := complex(tr.S[row], 0)
+			rr := carry.Row(row)
+			for j := range rr {
+				rr[j] *= f
+			}
+		}
+		carryT := tensor.FromData(carry.Data, keep, r)
+		m.Sites[i+1] = tensor.ContractWith(carryT, m.Sites[i+1], []int{1}, []int{0}, m.cfg.Backend.MatMul)
+		m.center = i + 1
+	}
+	m.TruncationError += discarded
+	return discarded, nil
+}
+
+// MemoryAfterCompress estimates (without mutating the state) the memory a
+// compression to the given budget/bond cap would leave, by compressing a
+// clone. Returns (bytes, discarded weight).
+func (m *MPS) MemoryAfterCompress(budget float64, maxBond int) (int64, float64, error) {
+	c := m.Clone()
+	d, err := c.Compress(budget, maxBond)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.MemoryBytes(), d, nil
+}

@@ -1,0 +1,112 @@
+package mps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestCompressNoOpAtNoiselessBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 2, Gamma: 0.7}
+	st := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+	before := st.Clone()
+	d, err := st.Compress(0, 0) // default budget: essentially noiseless
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Fatalf("noiseless compress discarded %v", d)
+	}
+	if ov := Overlap(before, st); math.Abs(ov-1) > 1e-9 {
+		t.Fatalf("state changed by noiseless compress: overlap %v", ov)
+	}
+}
+
+func TestCompressReducesBond(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := circuit.Ansatz{Qubits: 10, Layers: 2, Distance: 3, Gamma: 0.9}
+	st := buildAnsatzMPS(t, a, randomData(rng, 10), Config{})
+	chiBefore := st.MaxBond()
+	memBefore := st.MemoryBytes()
+	d, err := st.Compress(1e-4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBond() > chiBefore {
+		t.Fatalf("compress grew χ: %d → %d", chiBefore, st.MaxBond())
+	}
+	if d <= 0 {
+		t.Fatal("aggressive budget should discard weight on an entangled state")
+	}
+	if st.MemoryBytes() >= memBefore {
+		t.Fatalf("memory did not shrink: %d → %d", memBefore, st.MemoryBytes())
+	}
+	// Fidelity respects the budget: the total discarded weight bounds the
+	// overlap loss to first order.
+	exact := buildAnsatzMPS(t, a, randomData(rand.New(rand.NewSource(72)), 10), Config{})
+	ov := Overlap(exact, st)
+	if ov < 1-10*d-1e-6 {
+		t.Fatalf("fidelity %v below bound for discarded weight %v", ov, d)
+	}
+}
+
+func TestCompressBondCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := circuit.Ansatz{Qubits: 10, Layers: 2, Distance: 3, Gamma: 0.9}
+	st := buildAnsatzMPS(t, a, randomData(rng, 10), Config{})
+	if st.MaxBond() <= 3 {
+		t.Skip("state not entangled enough to exercise the cap")
+	}
+	if _, err := st.Compress(-1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBond() > 3 {
+		t.Fatalf("bond cap ignored: χ=%d", st.MaxBond())
+	}
+	// The configured (training-time) settings must be restored.
+	if st.cfg.MaxBond != 0 {
+		t.Fatalf("config not restored: MaxBond=%d", st.cfg.MaxBond)
+	}
+}
+
+func TestCompressSingleQubit(t *testing.T) {
+	st := NewZeroState(1, Config{})
+	if d, err := st.Compress(1e-2, 1); err != nil || d != 0 {
+		t.Fatalf("single-qubit compress: d=%v err=%v", d, err)
+	}
+}
+
+func TestMemoryAfterCompressDoesNotMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 3, Gamma: 0.8}
+	st := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+	chi := st.MaxBond()
+	bytes, d, err := st.MemoryAfterCompress(1e-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxBond() != chi {
+		t.Fatal("estimation mutated the state")
+	}
+	if bytes <= 0 || bytes > st.MemoryBytes() {
+		t.Fatalf("estimated bytes implausible: %d vs live %d", bytes, st.MemoryBytes())
+	}
+	if d < 0 {
+		t.Fatalf("negative discarded weight %v", d)
+	}
+}
+
+func TestCompressKeepsCanonicalInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 2, Gamma: 0.8}
+	st := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+	if _, err := st.Compress(1e-6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckCanonical(1e-8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package mps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// ExpectationLocal computes ⟨ψ|O_q|ψ⟩ for a single-qubit observable O acting
+// on qubit q, by moving the orthogonality centre to q (so the environment
+// contracts to the identity) and contracting O with the centre tensor. The
+// state is not modified (the centre move happens on a clone).
+func (m *MPS) ExpectationLocal(op *linalg.Matrix, q int) (complex128, error) {
+	if op.Rows != 2 || op.Cols != 2 {
+		return 0, fmt.Errorf("mps: local observable must be 2×2, got %d×%d", op.Rows, op.Cols)
+	}
+	if q < 0 || q >= m.N {
+		return 0, fmt.Errorf("mps: observable qubit %d outside [0,%d)", q, m.N)
+	}
+	rho, err := m.ReducedDensityMatrix(q)
+	if err != nil {
+		return 0, err
+	}
+	// ⟨O⟩ = Tr(ρ O).
+	var tr complex128
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			tr += rho.At(i, j) * op.At(j, i)
+		}
+	}
+	return tr, nil
+}
+
+// ReducedDensityMatrix returns the 2×2 single-qubit reduced density matrix
+// ρ_q = Tr_{≠q} |ψ⟩⟨ψ|. With the orthogonality centre at q, the environment
+// on both sides contracts to the identity, so
+//
+//	ρ[s][s'] = Σ_{l,r} A_q[l,s,r]·conj(A_q[l,s',r]).
+//
+// These matrices are the raw material of the projected quantum kernel
+// (Ref. [12] of the paper), implemented in internal/kernel.
+func (m *MPS) ReducedDensityMatrix(q int) (*linalg.Matrix, error) {
+	if q < 0 || q >= m.N {
+		return nil, fmt.Errorf("mps: RDM qubit %d outside [0,%d)", q, m.N)
+	}
+	c := m.Clone()
+	c.ensureCanonical()
+	c.moveCenterTo(q)
+	site := c.Sites[q] // (l, 2, r)
+	l, r := site.Shape[0], site.Shape[2]
+	rho := linalg.NewMatrix(2, 2)
+	for s := 0; s < 2; s++ {
+		for sp := 0; sp < 2; sp++ {
+			var acc complex128
+			for a := 0; a < l; a++ {
+				for b := 0; b < r; b++ {
+					acc += site.At(a, s, b) * cmplx.Conj(site.At(a, sp, b))
+				}
+			}
+			rho.Set(s, sp, acc)
+		}
+	}
+	// Normalise by the state norm in case truncation left ‖ψ‖ slightly ≠ 1.
+	tr := real(rho.At(0, 0) + rho.At(1, 1))
+	if tr > 0 {
+		rho.Scale(complex(1/tr, 0))
+	}
+	return rho, nil
+}
+
+// SchmidtValues returns the Schmidt coefficients (singular values of the
+// bipartition) across the cut between sites (cut, cut+1), normalised to unit
+// square sum. With the centre moved to site cut, the Schmidt values are the
+// singular values of the centre tensor matricized as (l·2 | r).
+func (m *MPS) SchmidtValues(cut int) ([]float64, error) {
+	if cut < 0 || cut >= m.N-1 {
+		return nil, fmt.Errorf("mps: cut %d outside [0,%d)", cut, m.N-1)
+	}
+	c := m.Clone()
+	c.ensureCanonical()
+	c.moveCenterTo(cut)
+	site := c.Sites[cut]
+	mat := site.Matricize(0, 1) // (l·2, r)
+	res := c.cfg.Backend.SVD(mat)
+	var norm2 float64
+	for _, s := range res.S {
+		norm2 += s * s
+	}
+	if norm2 == 0 {
+		return res.S, nil
+	}
+	inv := 1 / math.Sqrt(norm2)
+	out := make([]float64, len(res.S))
+	for i, s := range res.S {
+		out[i] = s * inv
+	}
+	return out, nil
+}
+
+// EntanglementEntropy returns the von Neumann entropy −Σλ²·ln(λ²) of the
+// bipartition at the given cut, in nats. Zero for product states; up to
+// ln(χ) for maximally entangled cuts — the quantity whose growth drives the
+// bond dimension (and hence the cost) of MPS simulation.
+func (m *MPS) EntanglementEntropy(cut int) (float64, error) {
+	sv, err := m.SchmidtValues(cut)
+	if err != nil {
+		return 0, err
+	}
+	var h float64
+	for _, s := range sv {
+		p := s * s
+		if p > 1e-300 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h, nil
+}
+
+// EntropyProfile returns the entanglement entropy at every cut — a
+// diagnostic for where along the chain the simulation cost concentrates.
+func (m *MPS) EntropyProfile() ([]float64, error) {
+	if m.N < 2 {
+		return nil, nil
+	}
+	out := make([]float64, m.N-1)
+	for cut := 0; cut < m.N-1; cut++ {
+		h, err := m.EntanglementEntropy(cut)
+		if err != nil {
+			return nil, err
+		}
+		out[cut] = h
+	}
+	return out, nil
+}
+
+// AllReducedDensityMatrices returns ρ_q for every qubit, moving the centre
+// in a single left-to-right sweep (cheaper than N independent calls).
+func (m *MPS) AllReducedDensityMatrices() ([]*linalg.Matrix, error) {
+	c := m.Clone()
+	c.ensureCanonical()
+	out := make([]*linalg.Matrix, c.N)
+	for q := 0; q < c.N; q++ {
+		c.moveCenterTo(q)
+		site := c.Sites[q]
+		l, r := site.Shape[0], site.Shape[2]
+		rho := linalg.NewMatrix(2, 2)
+		for s := 0; s < 2; s++ {
+			for sp := 0; sp < 2; sp++ {
+				var acc complex128
+				for a := 0; a < l; a++ {
+					for b := 0; b < r; b++ {
+						acc += site.At(a, s, b) * cmplx.Conj(site.At(a, sp, b))
+					}
+				}
+				rho.Set(s, sp, acc)
+			}
+		}
+		tr := real(rho.At(0, 0) + rho.At(1, 1))
+		if tr > 0 {
+			rho.Scale(complex(1/tr, 0))
+		}
+		out[q] = rho
+	}
+	return out, nil
+}

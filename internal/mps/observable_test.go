@@ -1,0 +1,235 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/statevector"
+)
+
+func TestRDMProductState(t *testing.T) {
+	m := NewZeroState(3, Config{})
+	rho, err := m.ReducedDensityMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |0⟩⟨0| exactly.
+	if cmplx.Abs(rho.At(0, 0)-1) > 1e-12 || cmplx.Abs(rho.At(1, 1)) > 1e-12 {
+		t.Fatalf("RDM of |0⟩ wrong: %v", rho)
+	}
+}
+
+func TestRDMBellStateMaximallyMixed(t *testing.T) {
+	m := NewZeroState(2, Config{})
+	m.ApplyGate(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	m.ApplyGate(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+	for q := 0; q < 2; q++ {
+		rho, err := m.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(rho.At(0, 0)-0.5) > 1e-10 || cmplx.Abs(rho.At(1, 1)-0.5) > 1e-10 ||
+			cmplx.Abs(rho.At(0, 1)) > 1e-10 {
+			t.Fatalf("Bell RDM on qubit %d not maximally mixed: %v", q, rho)
+		}
+	}
+}
+
+func TestRDMMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.7}
+	x := randomData(rng, 6)
+	st := buildAnsatzMPS(t, a, x, Config{})
+	c, _ := a.Build(x)
+	sv := statevector.Run(c)
+	for q := 0; q < 6; q++ {
+		got, err := st.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sv.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(want, 1e-8) {
+			t.Fatalf("RDM mismatch on qubit %d:\nmps %v\nsv  %v", q, got, want)
+		}
+	}
+}
+
+func TestAllRDMsMatchIndividual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := circuit.Ansatz{Qubits: 5, Layers: 1, Distance: 2, Gamma: 0.5}
+	st := buildAnsatzMPS(t, a, randomData(rng, 5), Config{})
+	all, err := st.AllReducedDensityMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 5; q++ {
+		one, err := st.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !all[q].EqualApprox(one, 1e-9) {
+			t.Fatalf("sweep RDM differs from individual on qubit %d", q)
+		}
+	}
+}
+
+func TestRDMProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := circuit.Ansatz{Qubits: 7, Layers: 2, Distance: 3, Gamma: 0.9}
+	st := buildAnsatzMPS(t, a, randomData(rng, 7), Config{})
+	for q := 0; q < 7; q++ {
+		rho, err := st.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hermitian, unit trace, PSD (diagonal of a 2×2 Hermitian with
+		// non-negative determinant).
+		if !rho.IsHermitian(1e-10) {
+			t.Fatalf("ρ_%d not Hermitian", q)
+		}
+		tr := real(rho.At(0, 0) + rho.At(1, 1))
+		if math.Abs(tr-1) > 1e-10 {
+			t.Fatalf("Tr ρ_%d = %v", q, tr)
+		}
+		det := real(rho.At(0, 0))*real(rho.At(1, 1)) - real(rho.At(0, 1)*rho.At(1, 0))
+		if det < -1e-10 {
+			t.Fatalf("ρ_%d not PSD: det %v", q, det)
+		}
+	}
+}
+
+func TestExpectationLocalPauli(t *testing.T) {
+	// |+⟩ has ⟨X⟩=1, ⟨Z⟩=0; |0⟩ has ⟨Z⟩=1.
+	m := NewZeroState(2, Config{})
+	m.ApplyGate(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	x0, err := m.ExpectationLocal(gates.X(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x0-1) > 1e-10 {
+		t.Fatalf("⟨X⟩ on |+⟩ = %v", x0)
+	}
+	z0, _ := m.ExpectationLocal(gates.Z(), 0)
+	if cmplx.Abs(z0) > 1e-10 {
+		t.Fatalf("⟨Z⟩ on |+⟩ = %v", z0)
+	}
+	z1, _ := m.ExpectationLocal(gates.Z(), 1)
+	if cmplx.Abs(z1-1) > 1e-10 {
+		t.Fatalf("⟨Z⟩ on |0⟩ = %v", z1)
+	}
+}
+
+func TestExpectationMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.6}
+	x := randomData(rng, 6)
+	st := buildAnsatzMPS(t, a, x, Config{})
+	c, _ := a.Build(x)
+	sv := statevector.Run(c)
+	for q := 0; q < 6; q++ {
+		for name, op := range map[string]*linalg.Matrix{
+			"X": gates.X(), "Y": gates.Y(), "Z": gates.Z(),
+		} {
+			got, err := st.ExpectationLocal(op, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sv.ExpectationLocal(op, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmplx.Abs(got-want) > 1e-8 {
+				t.Fatalf("⟨%s⟩ on qubit %d: mps %v, sv %v", name, q, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectationErrors(t *testing.T) {
+	m := NewZeroState(2, Config{})
+	if _, err := m.ExpectationLocal(gates.SWAP(), 0); err == nil {
+		t.Fatal("4×4 observable must error")
+	}
+	if _, err := m.ExpectationLocal(gates.X(), 5); err == nil {
+		t.Fatal("out-of-range qubit must error")
+	}
+	if _, err := m.ReducedDensityMatrix(-1); err == nil {
+		t.Fatal("negative qubit must error")
+	}
+}
+
+func TestEntanglementEntropyProductState(t *testing.T) {
+	m := NewZeroState(4, Config{})
+	for cut := 0; cut < 3; cut++ {
+		h, err := m.EntanglementEntropy(cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > 1e-10 {
+			t.Fatalf("product state has entropy %v at cut %d", h, cut)
+		}
+	}
+}
+
+func TestEntanglementEntropyBell(t *testing.T) {
+	m := NewZeroState(2, Config{})
+	m.ApplyGate(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	m.ApplyGate(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+	h, err := m.EntanglementEntropy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-math.Log(2)) > 1e-9 {
+		t.Fatalf("Bell entropy %v, want ln2=%v", h, math.Log(2))
+	}
+}
+
+func TestSchmidtValuesNormalised(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.8}
+	st := buildAnsatzMPS(t, a, randomData(rng, 6), Config{})
+	for cut := 0; cut < 5; cut++ {
+		sv, err := st.SchmidtValues(cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s2 float64
+		for _, s := range sv {
+			s2 += s * s
+		}
+		if math.Abs(s2-1) > 1e-9 {
+			t.Fatalf("Schmidt values at cut %d not normalised: Σλ²=%v", cut, s2)
+		}
+	}
+	if _, err := st.SchmidtValues(5); err == nil {
+		t.Fatal("out-of-range cut must error")
+	}
+}
+
+func TestEntropyProfileBoundsChi(t *testing.T) {
+	// ln(χ) bounds the entropy at each cut.
+	rng := rand.New(rand.NewSource(8))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 3, Gamma: 0.7}
+	st := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+	profile, err := st.EntropyProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bonds := st.BondDims()
+	for cut, h := range profile {
+		if h > math.Log(float64(bonds[cut]))+1e-9 {
+			t.Fatalf("entropy %v at cut %d exceeds ln(χ=%d)", h, cut, bonds[cut])
+		}
+	}
+	if _, err := NewZeroState(1, Config{}).EntropyProfile(); err != nil {
+		t.Fatal("single-qubit profile should be empty, not error")
+	}
+}

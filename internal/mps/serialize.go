@@ -1,0 +1,119 @@
+package mps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// magic identifies serialised MPS payloads; guards against feeding arbitrary
+// bytes into UnmarshalBinary during distributed message passing.
+const magic uint32 = 0x4d505331 // "MPS1"
+
+// MarshalBinary serialises the MPS site tensors (shapes and payloads) for
+// transfer between processes in the round-robin distribution strategy
+// (section II-D). Configuration and instrumentation are not serialised: the
+// receiver supplies its own Config on decode.
+func (m *MPS) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v any) {
+		// bytes.Buffer writes never fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(magic)
+	w(int32(m.N))
+	w(int32(m.center))
+	w(m.TruncationError)
+	for _, s := range m.Sites {
+		w(int32(s.Shape[0]))
+		w(int32(s.Shape[2]))
+		for _, c := range s.Data {
+			w(real(c))
+			w(imag(c))
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary reconstructs an MPS serialised by MarshalBinary, attaching
+// the given Config (backend, truncation policy) to the result.
+func UnmarshalBinary(data []byte, cfg Config) (*MPS, error) {
+	r := bytes.NewReader(data)
+	var mg uint32
+	if err := binary.Read(r, binary.LittleEndian, &mg); err != nil {
+		return nil, fmt.Errorf("mps: truncated header: %w", err)
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("mps: bad magic 0x%08x", mg)
+	}
+	var n, center int32
+	var truncErr float64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &center); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &truncErr); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > 1<<20 {
+		return nil, fmt.Errorf("mps: implausible qubit count %d", n)
+	}
+	if center < 0 || center >= n {
+		return nil, fmt.Errorf("mps: centre %d out of range for %d qubits", center, n)
+	}
+	if math.IsNaN(truncErr) || truncErr < 0 {
+		return nil, fmt.Errorf("mps: invalid truncation error %v", truncErr)
+	}
+	m := &MPS{N: int(n), cfg: cfg.withDefaults(), center: int(center), TruncationError: truncErr}
+	m.Sites = make([]*tensor.Tensor, n)
+	prevR := 1
+	for i := 0; i < int(n); i++ {
+		var l, rr int32
+		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("mps: site %d header: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &rr); err != nil {
+			return nil, fmt.Errorf("mps: site %d header: %w", i, err)
+		}
+		if l < 1 || rr < 1 || int(l) != prevR {
+			return nil, fmt.Errorf("mps: site %d has inconsistent bonds (%d,%d), expected left=%d", i, l, rr, prevR)
+		}
+		if i == int(n)-1 && rr != 1 {
+			return nil, fmt.Errorf("mps: last site right bond %d != 1", rr)
+		}
+		sz := int(l) * 2 * int(rr)
+		data := make([]complex128, sz)
+		for j := 0; j < sz; j++ {
+			var re, im float64
+			if err := binary.Read(r, binary.LittleEndian, &re); err != nil {
+				return nil, fmt.Errorf("mps: site %d payload: %w", i, err)
+			}
+			if err := binary.Read(r, binary.LittleEndian, &im); err != nil {
+				return nil, fmt.Errorf("mps: site %d payload: %w", i, err)
+			}
+			data[j] = complex(re, im)
+		}
+		m.Sites[i] = tensor.FromData(data, int(l), 2, int(rr))
+		prevR = int(rr)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mps: %d trailing bytes", r.Len())
+	}
+	return m, nil
+}
+
+// MarshaledSize returns the exact byte size MarshalBinary will produce,
+// used by the distributed runtime to account communication volume without
+// materialising the payload.
+func (m *MPS) MarshaledSize() int64 {
+	sz := int64(4 + 4 + 4 + 8) // magic, n, center, truncErr
+	for _, s := range m.Sites {
+		sz += 8 + int64(len(s.Data))*16
+	}
+	return sz
+}

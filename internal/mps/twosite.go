@@ -1,0 +1,157 @@
+package mps
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/tensor"
+)
+
+// TwoSiteRDM returns the 4×4 reduced density matrix of qubits (i, j), i < j,
+// in the basis |q_i q_j⟩ ∈ {00, 01, 10, 11}. The centre is moved to i (so
+// the left environment is the identity), and the open region between i and j
+// is contracted as a transfer chain; sites right of j contract to the
+// identity because they are right-canonical.
+func (m *MPS) TwoSiteRDM(i, j int) (*linalg.Matrix, error) {
+	if i < 0 || j >= m.N || i >= j {
+		return nil, fmt.Errorf("mps: TwoSiteRDM needs 0 ≤ i < j < %d, got (%d,%d)", m.N, i, j)
+	}
+	c := m.Clone()
+	c.ensureCanonical()
+	c.moveCenterTo(i)
+
+	// E[s,s'][a,a'] starts from site i with its physical index kept open:
+	// E_{ss'} = A_i[·,s,a]† pairing — concretely a matrix over (bra right
+	// bond a', ket right bond a) per physical pair (s,s').
+	si := c.Sites[i] // (l,2,r): l-dim environment is identity (centre at i)
+	l, r := si.Shape[0], si.Shape[2]
+	// env[s][sp] is an (r × r) matrix: Σ_l conj(A[l,sp,a']) A[l,s,a].
+	env := make([][]*linalg.Matrix, 2)
+	for s := 0; s < 2; s++ {
+		env[s] = make([]*linalg.Matrix, 2)
+		for sp := 0; sp < 2; sp++ {
+			e := linalg.NewMatrix(r, r) // (a' bra, a ket)
+			for a := 0; a < r; a++ {
+				for ap := 0; ap < r; ap++ {
+					var acc complex128
+					for ll := 0; ll < l; ll++ {
+						acc += cmplx.Conj(si.At(ll, sp, ap)) * si.At(ll, s, a)
+					}
+					e.Set(ap, a, acc)
+				}
+			}
+			env[s][sp] = e
+		}
+	}
+	// Propagate through sites between i and j, tracing their physical index.
+	for k := i + 1; k < j; k++ {
+		sk := c.Sites[k] // (rPrev,2,rNext)
+		env = propagateTraced(env, sk)
+	}
+	// Close with site j, keeping its physical index open.
+	sj := c.Sites[j] // (rPrev,2,rNext)
+	rho := linalg.NewMatrix(4, 4)
+	rp, rn := sj.Shape[0], sj.Shape[2]
+	for s := 0; s < 2; s++ {
+		for sp := 0; sp < 2; sp++ {
+			e := env[s][sp] // (a' bra, a ket) with dims rp×rp
+			for tIdx := 0; tIdx < 2; tIdx++ {
+				for tp := 0; tp < 2; tp++ {
+					var acc complex128
+					for a := 0; a < rp; a++ {
+						for ap := 0; ap < rp; ap++ {
+							ev := e.At(ap, a)
+							if ev == 0 {
+								continue
+							}
+							// Right environment is identity: contract b=b'.
+							for b := 0; b < rn; b++ {
+								acc += ev * sj.At(a, tIdx, b) * cmplx.Conj(sj.At(ap, tp, b))
+							}
+						}
+					}
+					// ρ[(s,t),(s',t')] = ⟨s't'| tr …|st⟩ ordering: row = ket
+					// indices (s,t), col = bra (s',t') conjugated side.
+					rho.Set(s*2+tIdx, sp*2+tp, acc+rho.At(s*2+tIdx, sp*2+tp))
+				}
+			}
+		}
+	}
+	// Normalise trace.
+	var tr complex128
+	for d := 0; d < 4; d++ {
+		tr += rho.At(d, d)
+	}
+	if real(tr) > 0 {
+		rho.Scale(complex(1/real(tr), 0))
+	}
+	return rho, nil
+}
+
+// propagateTraced advances the 2×2 family of environment matrices through a
+// traced site: env'_{ss'} = Σ_t A_k[a,t,b]·env_{ss'}[a',a]·conj(A_k[a',t,b']).
+func propagateTraced(env [][]*linalg.Matrix, site *tensor.Tensor) [][]*linalg.Matrix {
+	l, r := site.Shape[0], site.Shape[2]
+	out := make([][]*linalg.Matrix, 2)
+	for s := 0; s < 2; s++ {
+		out[s] = make([]*linalg.Matrix, 2)
+		for sp := 0; sp < 2; sp++ {
+			e := env[s][sp]
+			ne := linalg.NewMatrix(r, r)
+			for t := 0; t < 2; t++ {
+				// slice[a][b] = site[a,t,b]
+				// ne[b',b] += Σ_{a,a'} conj(slice[a'][b']) e[a',a] slice[a][b]
+				// = (slice† · e · slice)[b'][b]
+				slice := linalg.NewMatrix(l, r)
+				for a := 0; a < l; a++ {
+					for b := 0; b < r; b++ {
+						slice.Set(a, b, site.At(a, t, b))
+					}
+				}
+				tmp := linalg.MatMul(slice.ConjTranspose(), e) // (r×l)·(l×l)… e is (l×l)
+				upd := linalg.MatMul(tmp, slice)
+				for b := 0; b < r; b++ {
+					for bp := 0; bp < r; bp++ {
+						ne.Set(b, bp, ne.At(b, bp)+upd.At(b, bp))
+					}
+				}
+			}
+			out[s][sp] = ne
+		}
+	}
+	return out
+}
+
+// CorrelationZZ returns ⟨Z_i Z_j⟩ − ⟨Z_i⟩⟨Z_j⟩, the connected ZZ correlator,
+// a standard diagnostic of how far the feature map spreads data information
+// along the chain (longer-range ansatz edges ⇒ longer-range correlations).
+func (m *MPS) CorrelationZZ(i, j int) (float64, error) {
+	if i == j {
+		return 0, fmt.Errorf("mps: CorrelationZZ needs distinct qubits")
+	}
+	if i > j {
+		i, j = j, i
+	}
+	rho, err := m.TwoSiteRDM(i, j)
+	if err != nil {
+		return 0, err
+	}
+	zz := gates.Kron(gates.Z(), gates.Z())
+	var ezz complex128
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			ezz += rho.At(a, b) * zz.At(b, a)
+		}
+	}
+	zi, err := m.ExpectationLocal(gates.Z(), i)
+	if err != nil {
+		return 0, err
+	}
+	zj, err := m.ExpectationLocal(gates.Z(), j)
+	if err != nil {
+		return 0, err
+	}
+	return real(ezz) - real(zi)*real(zj), nil
+}

@@ -1,0 +1,163 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/statevector"
+)
+
+func TestTwoSiteRDMProductState(t *testing.T) {
+	m := NewZeroState(4, Config{})
+	rho, err := m.TwoSiteRDM(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |00⟩⟨00| exactly.
+	if cmplx.Abs(rho.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("two-site RDM of |00⟩: %v", rho)
+	}
+	for d := 1; d < 4; d++ {
+		if cmplx.Abs(rho.At(d, d)) > 1e-12 {
+			t.Fatalf("unexpected population at %d: %v", d, rho)
+		}
+	}
+}
+
+func TestTwoSiteRDMBell(t *testing.T) {
+	m := NewZeroState(2, Config{})
+	m.ApplyGate(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	m.ApplyGate(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+	rho, err := m.TwoSiteRDM(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure Bell state: ρ = |Φ+⟩⟨Φ+| with entries 1/2 at the corners.
+	for _, idx := range [][2]int{{0, 0}, {0, 3}, {3, 0}, {3, 3}} {
+		if cmplx.Abs(rho.At(idx[0], idx[1])-0.5) > 1e-10 {
+			t.Fatalf("Bell two-site RDM wrong at %v: %v", idx, rho)
+		}
+	}
+}
+
+func TestTwoSiteRDMMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.7}
+	x := randomData(rng, 6)
+	st := buildAnsatzMPS(t, a, x, Config{})
+	c, _ := a.Build(x)
+	sv := statevector.Run(c)
+	for _, pair := range [][2]int{{0, 1}, {0, 5}, {1, 4}, {2, 3}, {4, 5}} {
+		got, err := st.TwoSiteRDM(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sv.TwoSiteRDM(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(want, 1e-8) {
+			t.Fatalf("two-site RDM (%d,%d) mismatch:\nmps %v\nsv  %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestTwoSiteRDMProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 3, Gamma: 0.9}
+	st := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+	rho, err := st.TwoSiteRDM(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rho.IsHermitian(1e-9) {
+		t.Fatal("two-site RDM not Hermitian")
+	}
+	var tr complex128
+	for d := 0; d < 4; d++ {
+		tr += rho.At(d, d)
+	}
+	if math.Abs(real(tr)-1) > 1e-9 {
+		t.Fatalf("trace %v", tr)
+	}
+	// Partial trace over the second qubit must equal the single-site RDM of
+	// the first.
+	single, err := st.ReducedDensityMatrix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		for sp := 0; sp < 2; sp++ {
+			partial := rho.At(s*2+0, sp*2+0) + rho.At(s*2+1, sp*2+1)
+			if cmplx.Abs(partial-single.At(s, sp)) > 1e-8 {
+				t.Fatalf("partial trace inconsistent at (%d,%d): %v vs %v", s, sp, partial, single.At(s, sp))
+			}
+		}
+	}
+}
+
+func TestTwoSiteRDMErrors(t *testing.T) {
+	m := NewZeroState(3, Config{})
+	for _, pair := range [][2]int{{-1, 1}, {1, 1}, {2, 1}, {0, 3}} {
+		if _, err := m.TwoSiteRDM(pair[0], pair[1]); err == nil {
+			t.Fatalf("pair %v must error", pair)
+		}
+	}
+}
+
+func TestCorrelationZZ(t *testing.T) {
+	// Bell state: ⟨ZZ⟩ = 1, ⟨Z⟩=0 each ⇒ connected correlator 1.
+	m := NewZeroState(2, Config{})
+	m.ApplyGate(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	m.ApplyGate(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+	corr, err := m.CorrelationZZ(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corr-1) > 1e-9 {
+		t.Fatalf("Bell ZZ correlator %v, want 1", corr)
+	}
+	// Product state: zero correlation.
+	p := NewZeroState(3, Config{})
+	p.ApplyGate(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	corr, err = p.CorrelationZZ(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corr) > 1e-9 {
+		t.Fatalf("product ZZ correlator %v, want 0", corr)
+	}
+	// Argument order must not matter.
+	c1, _ := m.CorrelationZZ(0, 1)
+	c2, _ := m.CorrelationZZ(1, 0)
+	if math.Abs(c1-c2) > 1e-12 {
+		t.Fatal("correlator not symmetric in its arguments")
+	}
+	if _, err := m.CorrelationZZ(1, 1); err == nil {
+		t.Fatal("identical qubits must error")
+	}
+}
+
+func TestCorrelationRangeGrowsWithDistance(t *testing.T) {
+	// Larger ansatz interaction distance spreads correlations farther —
+	// compare the |ZZ| correlator at chain distance 4 between d=1 and d=4.
+	rng := rand.New(rand.NewSource(53))
+	x := randomData(rng, 8)
+	short := buildAnsatzMPS(t, circuit.Ansatz{Qubits: 8, Layers: 1, Distance: 1, Gamma: 0.8}, x, Config{})
+	long := buildAnsatzMPS(t, circuit.Ansatz{Qubits: 8, Layers: 1, Distance: 4, Gamma: 0.8}, x, Config{})
+	cs, err := short.CorrelationZZ(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := long.CorrelationZZ(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cl) <= math.Abs(cs) {
+		t.Fatalf("long-range ansatz should correlate distant qubits more: |%v| vs |%v|", cl, cs)
+	}
+}

@@ -1,0 +1,85 @@
+package statevector
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+)
+
+// ReducedDensityMatrix computes the single-qubit reduced density matrix
+// ρ_q = Tr_{≠q}|ψ⟩⟨ψ| by direct summation over the dense amplitudes. It is
+// the oracle against which the MPS implementation is tested.
+func (s *State) ReducedDensityMatrix(q int) (*linalg.Matrix, error) {
+	if q < 0 || q >= s.NumQubits {
+		return nil, fmt.Errorf("statevector: RDM qubit %d outside [0,%d)", q, s.NumQubits)
+	}
+	pos := s.bitPos(q)
+	mask := 1 << pos
+	rho := linalg.NewMatrix(2, 2)
+	for i, a := range s.Amp {
+		if a == 0 {
+			continue
+		}
+		bi := (i >> pos) & 1
+		// Pair index with the qubit flipped.
+		j := i ^ mask
+		bj := 1 - bi
+		// ρ[bi][bi] += |a|²; ρ[bi][bj] += a·conj(amp[j]).
+		rho.Set(bi, bi, rho.At(bi, bi)+a*cmplx.Conj(a))
+		rho.Set(bi, bj, rho.At(bi, bj)+a*cmplx.Conj(s.Amp[j]))
+	}
+	tr := real(rho.At(0, 0) + rho.At(1, 1))
+	if tr > 0 {
+		rho.Scale(complex(1/tr, 0))
+	}
+	return rho, nil
+}
+
+// TwoSiteRDM computes the 4×4 reduced density matrix of qubits (qa, qb),
+// qa < qb, in the |q_a q_b⟩ basis, by direct summation — the oracle for the
+// MPS implementation.
+func (s *State) TwoSiteRDM(qa, qb int) (*linalg.Matrix, error) {
+	if qa < 0 || qb >= s.NumQubits || qa >= qb {
+		return nil, fmt.Errorf("statevector: TwoSiteRDM needs 0 ≤ a < b < %d", s.NumQubits)
+	}
+	pa, pb := s.bitPos(qa), s.bitPos(qb)
+	rho := linalg.NewMatrix(4, 4)
+	for i, a := range s.Amp {
+		if a == 0 {
+			continue
+		}
+		bi := ((i>>pa)&1)*2 + (i>>pb)&1
+		base := i &^ (1 << pa) &^ (1 << pb)
+		for bj := 0; bj < 4; bj++ {
+			jIdx := base | ((bj >> 1) << pa) | ((bj & 1) << pb)
+			rho.Set(bi, bj, rho.At(bi, bj)+a*cmplx.Conj(s.Amp[jIdx]))
+		}
+	}
+	var tr complex128
+	for d := 0; d < 4; d++ {
+		tr += rho.At(d, d)
+	}
+	if real(tr) > 0 {
+		rho.Scale(complex(1/real(tr), 0))
+	}
+	return rho, nil
+}
+
+// ExpectationLocal computes ⟨ψ|O_q|ψ⟩ via the reduced density matrix.
+func (s *State) ExpectationLocal(op *linalg.Matrix, q int) (complex128, error) {
+	if op.Rows != 2 || op.Cols != 2 {
+		return 0, fmt.Errorf("statevector: local observable must be 2×2")
+	}
+	rho, err := s.ReducedDensityMatrix(q)
+	if err != nil {
+		return 0, err
+	}
+	var tr complex128
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			tr += rho.At(i, j) * op.At(j, i)
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,82 @@
+package statevector
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+func TestRDMZeroState(t *testing.T) {
+	s := NewZero(3)
+	rho, err := s.ReducedDensityMatrix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(rho.At(0, 0)-1) > 1e-12 || cmplx.Abs(rho.At(1, 1)) > 1e-12 {
+		t.Fatalf("RDM of |0⟩: %v", rho)
+	}
+}
+
+func TestRDMPlusState(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	s := Run(c)
+	rho, err := s.ReducedDensityMatrix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |+⟩⟨+| has all entries 1/2.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(rho.At(i, j)-0.5) > 1e-12 {
+				t.Fatalf("RDM of |+⟩: %v", rho)
+			}
+		}
+	}
+}
+
+func TestRDMBellMixed(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	c.MustAppend(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+	s := Run(c)
+	for q := 0; q < 2; q++ {
+		rho, err := s.ReducedDensityMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(rho.At(0, 0)-0.5) > 1e-12 || cmplx.Abs(rho.At(0, 1)) > 1e-12 {
+			t.Fatalf("Bell RDM on qubit %d: %v", q, rho)
+		}
+	}
+}
+
+func TestRDMBounds(t *testing.T) {
+	s := NewZero(2)
+	if _, err := s.ReducedDensityMatrix(2); err == nil {
+		t.Fatal("out-of-range qubit must error")
+	}
+	if _, err := s.ExpectationLocal(gates.SWAP(), 0); err == nil {
+		t.Fatal("4×4 observable must error")
+	}
+}
+
+func TestExpectationLocalKnown(t *testing.T) {
+	c := circuit.New(1)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	s := Run(c)
+	x, err := s.ExpectationLocal(gates.X(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(x)-1) > 1e-12 || math.Abs(imag(x)) > 1e-12 {
+		t.Fatalf("⟨X⟩ on |+⟩ = %v", x)
+	}
+	z, _ := s.ExpectationLocal(gates.Z(), 0)
+	if cmplx.Abs(z) > 1e-12 {
+		t.Fatalf("⟨Z⟩ on |+⟩ = %v", z)
+	}
+}

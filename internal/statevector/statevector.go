@@ -1,0 +1,160 @@
+// Package statevector implements a dense 2^m state-vector quantum circuit
+// simulator. It is the ground-truth oracle for the MPS simulator: every
+// behaviour of internal/mps is cross-checked against this package on small
+// qubit counts (the paper notes state vectors are limited to ~30–40 qubits;
+// here they serve as the correctness reference, not the workhorse).
+//
+// Qubit convention: qubit 0 is the most significant bit of the amplitude
+// index, matching the left-to-right MPS site order.
+package statevector
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+)
+
+// MaxQubits bounds the simulator to keep memory use sane (2^24 amplitudes =
+// 256 MiB); the reference role never needs more.
+const MaxQubits = 24
+
+// State is a dense quantum state on NumQubits qubits.
+type State struct {
+	NumQubits int
+	Amp       []complex128
+}
+
+// NewZero returns |0…0⟩ on n qubits.
+func NewZero(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("statevector: qubit count %d outside [1,%d]", n, MaxQubits))
+	}
+	s := &State{NumQubits: n, Amp: make([]complex128, 1<<uint(n))}
+	s.Amp[0] = 1
+	return s
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	c := &State{NumQubits: s.NumQubits, Amp: make([]complex128, len(s.Amp))}
+	copy(c.Amp, s.Amp)
+	return c
+}
+
+// bitPos returns the bit position (shift) of qubit q.
+func (s *State) bitPos(q int) uint {
+	return uint(s.NumQubits - 1 - q)
+}
+
+// ApplyGate applies a circuit gate to the state in place.
+func (s *State) ApplyGate(g circuit.Gate) {
+	if err := g.Validate(s.NumQubits); err != nil {
+		panic(err)
+	}
+	switch len(g.Qubits) {
+	case 1:
+		s.apply1(g.Mat, g.Qubits[0])
+	case 2:
+		s.apply2(g.Mat, g.Qubits[0], g.Qubits[1])
+	}
+}
+
+func (s *State) apply1(m *linalg.Matrix, q int) {
+	pos := s.bitPos(q)
+	mask := 1 << pos
+	a00, a01 := m.At(0, 0), m.At(0, 1)
+	a10, a11 := m.At(1, 0), m.At(1, 1)
+	for i := range s.Amp {
+		if i&mask != 0 {
+			continue // visit each pair once, from its |0⟩ member
+		}
+		j := i | mask
+		v0, v1 := s.Amp[i], s.Amp[j]
+		s.Amp[i] = a00*v0 + a01*v1
+		s.Amp[j] = a10*v0 + a11*v1
+	}
+}
+
+func (s *State) apply2(m *linalg.Matrix, qa, qb int) {
+	pa, pb := s.bitPos(qa), s.bitPos(qb)
+	maskA, maskB := 1<<pa, 1<<pb
+	for i := range s.Amp {
+		if i&maskA != 0 || i&maskB != 0 {
+			continue // visit each 4-group once, from its |00⟩ member
+		}
+		i00 := i
+		i01 := i | maskB
+		i10 := i | maskA
+		i11 := i | maskA | maskB
+		v := [4]complex128{s.Amp[i00], s.Amp[i01], s.Amp[i10], s.Amp[i11]}
+		var w [4]complex128
+		for r := 0; r < 4; r++ {
+			var acc complex128
+			for c := 0; c < 4; c++ {
+				acc += m.At(r, c) * v[c]
+			}
+			w[r] = acc
+		}
+		s.Amp[i00], s.Amp[i01], s.Amp[i10], s.Amp[i11] = w[0], w[1], w[2], w[3]
+	}
+}
+
+// Run applies every gate of the circuit to |0…0⟩ and returns the final state.
+func Run(c *circuit.Circuit) *State {
+	s := NewZero(c.NumQubits)
+	for _, g := range c.Gates {
+		s.ApplyGate(g)
+	}
+	return s
+}
+
+// Inner returns ⟨a|b⟩.
+func Inner(a, b *State) complex128 {
+	if a.NumQubits != b.NumQubits {
+		panic("statevector: Inner on states of different size")
+	}
+	var acc complex128
+	for i, v := range a.Amp {
+		acc += cmplx.Conj(v) * b.Amp[i]
+	}
+	return acc
+}
+
+// Norm returns ‖s‖ = sqrt(⟨s|s⟩); 1 for any state produced by unitary
+// circuits.
+func (s *State) Norm() float64 {
+	var acc float64
+	for _, v := range s.Amp {
+		acc += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(acc)
+}
+
+// Probability returns |amp|² of a basis state given per-qubit bits.
+func (s *State) Probability(bits []int) float64 {
+	if len(bits) != s.NumQubits {
+		panic("statevector: wrong number of bits")
+	}
+	idx := 0
+	for q, b := range bits {
+		if b != 0 && b != 1 {
+			panic("statevector: bits must be 0/1")
+		}
+		idx |= b << s.bitPos(q)
+	}
+	v := s.Amp[idx]
+	return real(v)*real(v) + imag(v)*imag(v)
+}
+
+// EqualUpToGlobalPhase reports whether two states differ only by a global
+// phase within tol, the physically meaningful notion of state equality.
+func EqualUpToGlobalPhase(a, b *State, tol float64) bool {
+	if a.NumQubits != b.NumQubits {
+		return false
+	}
+	ip := Inner(a, b)
+	return math.Abs(cmplx.Abs(ip)-a.Norm()*b.Norm()) < tol
+}

@@ -1,0 +1,220 @@
+package statevector
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+func TestNewZero(t *testing.T) {
+	s := NewZero(3)
+	if len(s.Amp) != 8 || s.Amp[0] != 1 {
+		t.Fatalf("bad initial state: %v", s.Amp)
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Fatal("initial state not normalised")
+	}
+}
+
+func TestNewZeroPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, MaxQubits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for n=%d", n)
+				}
+			}()
+			NewZero(n)
+		}()
+	}
+}
+
+func TestHadamardUniform(t *testing.T) {
+	c := circuit.New(3)
+	for q := 0; q < 3; q++ {
+		c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{q}, Mat: gates.H()})
+	}
+	s := Run(c)
+	want := complex(1/math.Sqrt(8), 0)
+	for i, a := range s.Amp {
+		if cmplx.Abs(a-want) > 1e-12 {
+			t.Fatalf("amp[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestXFlipsCorrectQubit(t *testing.T) {
+	// X on qubit 0 of 3 qubits should take |000⟩ to |100⟩ — index 4 with the
+	// qubit-0-most-significant convention.
+	c := circuit.New(3)
+	c.MustAppend(circuit.Gate{Name: "X", Qubits: []int{0}, Mat: gates.X()})
+	s := Run(c)
+	if s.Amp[4] != 1 {
+		t.Fatalf("X on qubit 0 produced %v", s.Amp)
+	}
+	c2 := circuit.New(3)
+	c2.MustAppend(circuit.Gate{Name: "X", Qubits: []int{2}, Mat: gates.X()})
+	s2 := Run(c2)
+	if s2.Amp[1] != 1 {
+		t.Fatalf("X on qubit 2 produced %v", s2.Amp)
+	}
+}
+
+func TestCXEntangles(t *testing.T) {
+	// H(0); CX(0,1) → Bell state (|00⟩+|11⟩)/√2.
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	c.MustAppend(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+	s := Run(c)
+	w := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(s.Amp[0]-w) > 1e-12 || cmplx.Abs(s.Amp[3]-w) > 1e-12 ||
+		cmplx.Abs(s.Amp[1]) > 1e-12 || cmplx.Abs(s.Amp[2]) > 1e-12 {
+		t.Fatalf("not a Bell state: %v", s.Amp)
+	}
+}
+
+func TestCXControlOrientation(t *testing.T) {
+	// CX(1,0): control qubit 1, target qubit 0. Prepare |01⟩ (qubit1=1) and
+	// expect |11⟩.
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "X", Qubits: []int{1}, Mat: gates.X()})
+	c.MustAppend(circuit.Gate{Name: "CX", Qubits: []int{1, 0}, Mat: gates.CX()})
+	s := Run(c)
+	if cmplx.Abs(s.Amp[3]-1) > 1e-12 {
+		t.Fatalf("CX(1,0)|01⟩ gave %v, want |11⟩", s.Amp)
+	}
+}
+
+func TestSWAPGateOnState(t *testing.T) {
+	// Prepare |10⟩ then SWAP(0,1) → |01⟩.
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "X", Qubits: []int{0}, Mat: gates.X()})
+	c.MustAppend(circuit.Gate{Name: "SWAP", Qubits: []int{0, 1}, Mat: gates.SWAP()})
+	s := Run(c)
+	if cmplx.Abs(s.Amp[1]-1) > 1e-12 {
+		t.Fatalf("SWAP|10⟩ gave %v", s.Amp)
+	}
+}
+
+func TestRoutingPreservesState(t *testing.T) {
+	// The routed circuit must produce exactly the same state as the logical
+	// one — SWAP networks are transparent.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := 4 + rng.Intn(3)
+		d := 1 + rng.Intn(m-1)
+		a := circuit.Ansatz{Qubits: m, Layers: 1 + rng.Intn(2), Distance: d, Gamma: 0.3 + rng.Float64()}
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.Float64() * 2
+		}
+		logical, err := a.Build(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routed := circuit.Route(logical)
+		s1, s2 := Run(logical), Run(routed)
+		ip := Inner(s1, s2)
+		if math.Abs(cmplx.Abs(ip)-1) > 1e-10 || math.Abs(real(ip)-1) > 1e-10 {
+			t.Fatalf("trial %d (m=%d d=%d): routed state differs, ⟨a|b⟩=%v", trial, m, d, ip)
+		}
+	}
+}
+
+func TestInnerSelfIsOne(t *testing.T) {
+	a := circuit.Ansatz{Qubits: 5, Layers: 2, Distance: 2, Gamma: 0.5}
+	x := []float64{0.3, 0.7, 1.1, 1.5, 1.9}
+	c, err := a.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Run(c)
+	if math.Abs(real(Inner(s, s))-1) > 1e-10 {
+		t.Fatalf("⟨ψ|ψ⟩ = %v", Inner(s, s))
+	}
+}
+
+func TestProbability(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	s := Run(c)
+	if p := s.Probability([]int{0, 0}); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P(00) = %v", p)
+	}
+	if p := s.Probability([]int{1, 0}); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P(10) = %v", p)
+	}
+	if p := s.Probability([]int{0, 1}); p > 1e-12 {
+		t.Fatalf("P(01) = %v", p)
+	}
+}
+
+func TestEqualUpToGlobalPhase(t *testing.T) {
+	c := circuit.New(2)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	s1 := Run(c)
+	s2 := s1.Clone()
+	for i := range s2.Amp {
+		s2.Amp[i] *= cmplx.Exp(complex(0, 1.234))
+	}
+	if !EqualUpToGlobalPhase(s1, s2, 1e-10) {
+		t.Fatal("global phase should not matter")
+	}
+	s3 := NewZero(2)
+	if EqualUpToGlobalPhase(s1, s3, 1e-10) {
+		t.Fatal("different states flagged equal")
+	}
+}
+
+// Property: norm is preserved by every ansatz circuit (unitarity end-to-end).
+func TestPropertyNormPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(5)
+		d := 1 + rng.Intn(m-1)
+		a := circuit.Ansatz{Qubits: m, Layers: 1 + rng.Intn(3), Distance: d, Gamma: 0.1 + rng.Float64()}
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.Float64() * 2
+		}
+		c, err := a.Build(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Run(c).Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |⟨ψ(x)|ψ(x')⟩|² is symmetric in its arguments.
+func TestPropertyOverlapSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(4)
+		a := circuit.Ansatz{Qubits: m, Layers: 1, Distance: 1, Gamma: 0.5}
+		x1 := make([]float64, m)
+		x2 := make([]float64, m)
+		for i := range x1 {
+			x1[i], x2[i] = rng.Float64()*2, rng.Float64()*2
+		}
+		c1, err1 := a.Build(x1)
+		c2, err2 := a.Build(x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		s1, s2 := Run(c1), Run(c2)
+		k12 := cmplx.Abs(Inner(s1, s2))
+		k21 := cmplx.Abs(Inner(s2, s1))
+		return math.Abs(k12-k21) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// modelJSON is the serialised form of a trained model. Training-set kernel
+// rows are NOT stored — a deployed model needs the training states (or raw
+// training data) alongside it to compute kernel rows at inference time,
+// exactly as the paper describes storing the MPS of the training stage for
+// classification of new points.
+type modelJSON struct {
+	Alpha []float64 `json:"alpha"`
+	B     float64   `json:"b"`
+	Y     []int     `json:"y"`
+	C     float64   `json:"c"`
+	Iters int       `json:"iters"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{Alpha: m.Alpha, B: m.B, Y: m.Y, C: m.C, Iters: m.Iters})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with structural validation.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var raw modelJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("svm: decoding model: %w", err)
+	}
+	if len(raw.Alpha) == 0 || len(raw.Alpha) != len(raw.Y) {
+		return fmt.Errorf("svm: model has %d alphas for %d labels", len(raw.Alpha), len(raw.Y))
+	}
+	if raw.C <= 0 || math.IsNaN(raw.C) {
+		return fmt.Errorf("svm: invalid C %v", raw.C)
+	}
+	if math.IsNaN(raw.B) || math.IsInf(raw.B, 0) {
+		return fmt.Errorf("svm: invalid bias %v", raw.B)
+	}
+	for i, a := range raw.Alpha {
+		if a < -1e-9 || a > raw.C+1e-6 || math.IsNaN(a) {
+			return fmt.Errorf("svm: alpha[%d]=%v outside [0,%v]", i, a, raw.C)
+		}
+	}
+	for i, y := range raw.Y {
+		if y != 1 && y != -1 {
+			return fmt.Errorf("svm: label[%d]=%d not ±1", i, y)
+		}
+	}
+	m.Alpha = raw.Alpha
+	m.B = raw.B
+	m.Y = raw.Y
+	m.C = raw.C
+	m.Iters = raw.Iters
+	return nil
+}

@@ -1,0 +1,62 @@
+package svm
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := separableData(rng, 30, 1.0)
+	k := linearKernel(x)
+	m, err := Train(k, y, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Same decisions on the training kernel.
+	d1, err := m.DecisionBatch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := back.DecisionBatch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if math.Abs(d1[i]-d2[i]) > 1e-12 {
+			t.Fatalf("decision %d changed after round-trip: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+	if back.C != m.C || back.Iters != m.Iters {
+		t.Fatal("metadata lost in round-trip")
+	}
+}
+
+func TestModelJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{}`,                                      // empty
+		`{"alpha":[0.5],"y":[1,-1],"c":1,"b":0}`,  // length mismatch
+		`{"alpha":[0.5],"y":[1],"c":0,"b":0}`,     // bad C
+		`{"alpha":[9],"y":[1],"c":1,"b":0}`,       // alpha out of box
+		`{"alpha":[-1],"y":[1],"c":1,"b":0}`,      // negative alpha
+		`{"alpha":[0.5],"y":[2],"c":1,"b":0}`,     // bad label
+		`{"alpha":[0.5],"y":[1],"c":1,"b":1e999}`, // inf bias (json rejects)
+		`not json`, // garbage
+	}
+	for i, c := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("case %d should be rejected: %s", i, c)
+		}
+	}
+}

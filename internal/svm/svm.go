@@ -1,0 +1,276 @@
+// Package svm implements a Support Vector Machine classifier for
+// precomputed kernels, playing the role of scikit-learn's SVC in the paper's
+// pipeline: the quantum (or Gaussian) Gram matrix on the training set and the
+// rectangular test×train kernel are fed to the solver, exactly as in
+// section III-B.
+//
+// The dual problem
+//
+//	max_α Σᵢαᵢ − ½ ΣᵢΣⱼ αᵢαⱼyᵢyⱼK(xᵢ,xⱼ)   s.t. 0 ≤ αᵢ ≤ C, Σᵢαᵢyᵢ = 0
+//
+// is solved with Sequential Minimal Optimization (SMO): repeatedly pick a
+// pair of multipliers violating the KKT conditions and solve the
+// two-variable subproblem analytically. The paper's hyperparameters are the
+// defaults: tolerance 1e-3 and a regularisation sweep C ∈ [0.01, 4].
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultTol is the KKT tolerance the paper uses for SVC.
+const DefaultTol = 1e-3
+
+// DefaultCGrid is the regularisation sweep of the paper: "SVM regularization
+// parameter C ∈ [0.01, 4]".
+var DefaultCGrid = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0}
+
+// Model is a trained kernel SVM.
+type Model struct {
+	Alpha []float64 // dual coefficients, one per training point
+	B     float64   // bias
+	Y     []int     // training labels (±1)
+	C     float64
+	Iters int // SMO iterations consumed
+}
+
+// Train solves the dual on a precomputed training Gram matrix K (n×n,
+// symmetric) with labels y (±1) and box constraint C. tol ≤ 0 selects
+// DefaultTol. The solver is deterministic: its internal randomised pair
+// selection is seeded from the problem size.
+func Train(K [][]float64, y []int, c, tol float64) (*Model, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if len(K) != n {
+		return nil, fmt.Errorf("svm: kernel has %d rows for %d labels", len(K), n)
+	}
+	for i, row := range K {
+		if len(row) != n {
+			return nil, fmt.Errorf("svm: kernel row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	pos, neg := 0, 0
+	for _, v := range y {
+		switch v {
+		case +1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("svm: labels must be ±1, got %d", v)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("svm: training set has a single class (%d pos, %d neg)", pos, neg)
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("svm: C must be positive, got %v", c)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+
+	m := &Model{Alpha: make([]float64, n), Y: y, C: c}
+	rng := rand.New(rand.NewSource(int64(n)*7919 + 17))
+
+	// errs caches E_i = f(x_i) − y_i, updated incrementally after every
+	// successful pair optimisation (Platt's error cache). With α = 0
+	// initially, f(x_i) = 0 so E_i = −y_i.
+	errs := make([]float64, n)
+	for i := range errs {
+		errs[i] = -float64(y[i])
+	}
+
+	const maxPasses = 10
+	maxIters := 500 * n
+	passes := 0
+	for passes < maxPasses && m.Iters < maxIters {
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := errs[i]
+			yi := float64(y[i])
+			ri := Ei * yi
+			if (ri < -tol && m.Alpha[i] < c) || (ri > tol && m.Alpha[i] > 0) {
+				// Second-choice heuristic: maximise |E_i − E_j|.
+				j, best := -1, -1.0
+				for k := 0; k < n; k++ {
+					if k == i {
+						continue
+					}
+					if d := math.Abs(Ei - errs[k]); d > best {
+						best, j = d, k
+					}
+				}
+				moved := j >= 0 && m.optimizePair(K, y, errs, i, j, c)
+				if !moved {
+					// Fallback: a few random partners.
+					for try := 0; try < 4 && !moved; try++ {
+						j = rng.Intn(n - 1)
+						if j >= i {
+							j++
+						}
+						moved = m.optimizePair(K, y, errs, i, j, c)
+					}
+				}
+				if moved {
+					changed++
+				}
+				m.Iters++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	return m, nil
+}
+
+// optimizePair solves the two-variable subproblem for (i, j) analytically,
+// updating the error cache on success; returns whether the multipliers moved.
+func (m *Model) optimizePair(K [][]float64, y []int, errs []float64, i, j int, c float64) bool {
+	yi, yj := float64(y[i]), float64(y[j])
+	Ei := errs[i]
+	Ej := errs[j]
+
+	ai, aj := m.Alpha[i], m.Alpha[j]
+	var lo, hi float64
+	if yi != yj {
+		lo = math.Max(0, aj-ai)
+		hi = math.Min(c, c+aj-ai)
+	} else {
+		lo = math.Max(0, ai+aj-c)
+		hi = math.Min(c, ai+aj)
+	}
+	if hi-lo < 1e-12 {
+		return false
+	}
+	eta := 2*K[i][j] - K[i][i] - K[j][j]
+	if eta >= 0 {
+		return false // non-PSD direction or flat; skip (rare for valid kernels)
+	}
+	ajNew := aj - yj*(Ei-Ej)/eta
+	if ajNew > hi {
+		ajNew = hi
+	} else if ajNew < lo {
+		ajNew = lo
+	}
+	if math.Abs(ajNew-aj) < 1e-7*(ajNew+aj+1e-7) {
+		return false
+	}
+	aiNew := ai + yi*yj*(aj-ajNew)
+
+	// Bias update (Platt's rules).
+	bOld := m.B
+	b1 := m.B - Ei - yi*(aiNew-ai)*K[i][i] - yj*(ajNew-aj)*K[i][j]
+	b2 := m.B - Ej - yi*(aiNew-ai)*K[i][j] - yj*(ajNew-aj)*K[j][j]
+	switch {
+	case aiNew > 0 && aiNew < c:
+		m.B = b1
+	case ajNew > 0 && ajNew < c:
+		m.B = b2
+	default:
+		m.B = (b1 + b2) / 2
+	}
+	di := yi * (aiNew - ai)
+	dj := yj * (ajNew - aj)
+	db := m.B - bOld
+	for k := range errs {
+		errs[k] += di*K[i][k] + dj*K[j][k] + db
+	}
+	m.Alpha[i], m.Alpha[j] = aiNew, ajNew
+	return true
+}
+
+// SupportVectors returns the indices with αᵢ > 0.
+func (m *Model) SupportVectors() []int {
+	var idx []int
+	for i, a := range m.Alpha {
+		if a > 1e-9 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Decision returns the signed decision value for one sample given its kernel
+// row against all training points (kRow[j] = K(x, xⱼ)).
+func (m *Model) Decision(kRow []float64) (float64, error) {
+	if len(kRow) != len(m.Alpha) {
+		return 0, fmt.Errorf("svm: kernel row length %d, want %d", len(kRow), len(m.Alpha))
+	}
+	var s float64
+	for j, a := range m.Alpha {
+		if a != 0 {
+			s += a * float64(m.Y[j]) * kRow[j]
+		}
+	}
+	return s + m.B, nil
+}
+
+// DecisionBatch evaluates the decision function for a test×train kernel
+// matrix, one row per test sample.
+func (m *Model) DecisionBatch(K [][]float64) ([]float64, error) {
+	out := make([]float64, len(K))
+	for i, row := range K {
+		d, err := m.Decision(row)
+		if err != nil {
+			return nil, fmt.Errorf("svm: row %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Predict maps decision values to ±1 labels.
+func (m *Model) Predict(K [][]float64) ([]int, error) {
+	dec, err := m.DecisionBatch(K)
+	if err != nil {
+		return nil, err
+	}
+	lab := make([]int, len(dec))
+	for i, d := range dec {
+		if d >= 0 {
+			lab[i] = +1
+		} else {
+			lab[i] = -1
+		}
+	}
+	return lab, nil
+}
+
+// KKTViolation returns the largest violation of the KKT optimality
+// conditions at tolerance 0 — used by property tests to confirm the solver
+// actually optimises.
+func (m *Model) KKTViolation(K [][]float64) float64 {
+	n := len(m.Y)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		var fi float64
+		for j := 0; j < n; j++ {
+			if m.Alpha[j] != 0 {
+				fi += m.Alpha[j] * float64(m.Y[j]) * K[j][i]
+			}
+		}
+		fi += m.B
+		ri := (fi - float64(m.Y[i])) * float64(m.Y[i]) // yᵢ·f(xᵢ) − 1
+		var v float64
+		switch {
+		case m.Alpha[i] <= 1e-9: // α=0 requires yᵢf ≥ 1
+			v = -ri
+		case m.Alpha[i] >= m.C-1e-9: // α=C requires yᵢf ≤ 1
+			v = ri
+		default: // 0<α<C requires yᵢf = 1
+			v = math.Abs(ri)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

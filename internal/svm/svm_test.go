@@ -1,0 +1,354 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// linearKernel builds the Gram matrix of the dot-product kernel.
+func linearKernel(x [][]float64) [][]float64 {
+	n := len(x)
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = dot(x[i], x[j])
+		}
+	}
+	return k
+}
+
+func crossLinear(a, b [][]float64) [][]float64 {
+	k := make([][]float64, len(a))
+	for i := range a {
+		k[i] = make([]float64, len(b))
+		for j := range b {
+			k[i][j] = dot(a[i], b[j])
+		}
+	}
+	return k
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// separableData builds a linearly separable 2-D problem.
+func separableData(rng *rand.Rand, n int, margin float64) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		lab := 1
+		if i%2 == 0 {
+			lab = -1
+		}
+		y[i] = lab
+		x[i] = []float64{
+			rng.NormFloat64() + float64(lab)*(1+margin),
+			rng.NormFloat64(),
+		}
+	}
+	return x, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := separableData(rng, 60, 2.0)
+	k := linearKernel(x)
+	m, err := Train(k, y, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range pred {
+		if pred[i] != y[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("separable data misclassified %d/%d train points", errs, len(y))
+	}
+}
+
+func TestTrainGeneralisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xtr, ytr := separableData(rng, 80, 1.0)
+	xte, yte := separableData(rng, 40, 1.0)
+	m, err := Train(linearKernel(xtr), ytr, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.DecisionBatch(crossLinear(xte, xtr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := Evaluate(scores, yte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.AUC < 0.95 {
+		t.Fatalf("test AUC %v too low for an easy problem", met.AUC)
+	}
+	if met.Accuracy < 0.9 {
+		t.Fatalf("test accuracy %v too low", met.Accuracy)
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	k := [][]float64{{1, 0}, {0, 1}}
+	if _, err := Train(k, []int{1, 1}, 1, 0); err == nil {
+		t.Fatal("single-class labels must error")
+	}
+	if _, err := Train(k, []int{1, 2}, 1, 0); err == nil {
+		t.Fatal("non-±1 labels must error")
+	}
+	if _, err := Train(k, []int{1, -1}, 0, 0); err == nil {
+		t.Fatal("C=0 must error")
+	}
+	if _, err := Train(k, []int{1, -1, 1}, 1, 0); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if _, err := Train([][]float64{{1}, {0, 1}}, []int{1, -1}, 1, 0); err == nil {
+		t.Fatal("ragged kernel must error")
+	}
+	if _, err := Train(nil, nil, 1, 0); err == nil {
+		t.Fatal("empty problem must error")
+	}
+}
+
+func TestDualConstraintsHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := separableData(rng, 50, 0.2)
+	c := 0.7
+	m, err := Train(linearKernel(x), y, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, a := range m.Alpha {
+		if a < -1e-12 || a > c+1e-9 {
+			t.Fatalf("α[%d]=%v outside box [0,%v]", i, a, c)
+		}
+		sum += a * float64(y[i])
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("Σαy = %v, want 0", sum)
+	}
+}
+
+func TestKKTApproximatelySatisfied(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := separableData(rng, 60, 0.5)
+	k := linearKernel(x)
+	m, err := Train(k, y, 1.0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.KKTViolation(k); v > 0.05 {
+		t.Fatalf("KKT violation %v too large", v)
+	}
+}
+
+func TestDecisionRowLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := separableData(rng, 20, 1.0)
+	m, _ := Train(linearKernel(x), y, 1, 0)
+	if _, err := m.Decision(make([]float64, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := m.DecisionBatch([][]float64{make([]float64, 3)}); err == nil {
+		t.Fatal("expected batch length error")
+	}
+}
+
+func TestSupportVectorsSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := separableData(rng, 60, 2.0)
+	m, _ := Train(linearKernel(x), y, 1, 0)
+	sv := m.SupportVectors()
+	if len(sv) == 0 || len(sv) == len(y) {
+		t.Fatalf("wide-margin problem should have a strict subset of SVs, got %d/%d", len(sv), len(y))
+	}
+}
+
+func TestAUCKnownValues(t *testing.T) {
+	y := []int{1, 1, -1, -1}
+	perfect := []float64{2, 1, -1, -2}
+	if auc, _ := AUC(perfect, y); auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+	inverted := []float64{-2, -1, 1, 2}
+	if auc, _ := AUC(inverted, y); auc != 0 {
+		t.Fatalf("inverted AUC = %v", auc)
+	}
+	ties := []float64{1, 1, 1, 1}
+	if auc, _ := AUC(ties, y); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("all-ties AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1}, []int{1}); err == nil {
+		t.Fatal("single class must error")
+	}
+	if _, err := AUC([]float64{1}, []int{1, -1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := AUC([]float64{1, 2}, []int{1, 0}); err == nil {
+		t.Fatal("invalid label must error")
+	}
+}
+
+func TestROCCurveEndpoints(t *testing.T) {
+	y := []int{1, -1, 1, -1}
+	s := []float64{0.9, 0.8, 0.7, 0.1}
+	pts, err := ROCCurve(s, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.FPR != 0 || first.TPR != 0 || last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("ROC endpoints wrong: %+v … %+v", first, last)
+	}
+}
+
+func TestAUCImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(40)
+		scores := make([]float64, n)
+		y := make([]int, n)
+		y[0], y[1] = 1, -1 // both classes present
+		scores[0], scores[1] = rng.NormFloat64(), rng.NormFloat64()
+		for i := 2; i < n; i++ {
+			scores[i] = rng.NormFloat64()
+			if rng.Intn(2) == 0 {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		a1, err := AUC(scores, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := ROCCurve(scores, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a2 := AUCFromROC(pts); math.Abs(a1-a2) > 1e-10 {
+			t.Fatalf("rank AUC %v != ROC AUC %v", a1, a2)
+		}
+	}
+}
+
+func TestEvaluateConfusionCounts(t *testing.T) {
+	y := []int{1, 1, -1, -1}
+	scores := []float64{1, -1, -1, 1} // tp=1 fn=1 tn=1 fp=1
+	m, err := Evaluate(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 0.5 || m.Precision != 0.5 || m.Recall != 0.5 {
+		t.Fatalf("metrics wrong: %+v", m)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Fatal("empty must error")
+	}
+}
+
+func TestTrainBestCPicksBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xtr, ytr := separableData(rng, 60, 0.5)
+	xte, yte := separableData(rng, 30, 0.5)
+	ktr := linearKernel(xtr)
+	kte := crossLinear(xte, xtr)
+	model, met, c, err := TrainBestC(ktr, ytr, kte, yte, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil || math.IsNaN(c) {
+		t.Fatal("no model selected")
+	}
+	if met.AUC < 0.9 {
+		t.Fatalf("best-C AUC %v too low", met.AUC)
+	}
+	found := false
+	for _, g := range DefaultCGrid {
+		if g == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("selected C %v not in grid", c)
+	}
+}
+
+// Property: AUC is invariant under strictly monotone transforms of scores.
+func TestPropertyAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(20)
+		scores := make([]float64, n)
+		y := make([]int, n)
+		y[0], y[1] = 1, -1
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			if i > 1 {
+				y[i] = 1 - 2*rng.Intn(2)
+			}
+		}
+		a1, err1 := AUC(scores, y)
+		warped := make([]float64, n)
+		for i, s := range scores {
+			warped[i] = math.Atan(3*s) + 5 // strictly increasing
+		}
+		a2, err2 := AUC(warped, y)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping all labels and negating scores preserves AUC.
+func TestPropertyAUCFlipSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(20)
+		scores := make([]float64, n)
+		y := make([]int, n)
+		y[0], y[1] = 1, -1
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			if i > 1 {
+				y[i] = 1 - 2*rng.Intn(2)
+			}
+		}
+		a1, err1 := AUC(scores, y)
+		neg := make([]float64, n)
+		flip := make([]int, n)
+		for i := range scores {
+			neg[i] = -scores[i]
+			flip[i] = -y[i]
+		}
+		a2, err2 := AUC(neg, flip)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
