@@ -1,0 +1,43 @@
+GO      ?= go
+DATE    := $(shell date +%Y-%m-%d)
+BENCH_OUT := BENCH_$(DATE).json
+
+# The 1-iteration smoke subset: the distributed-Gram benchmarks this repo's
+# perf trajectory tracks, plus one simulator and one solver bench.
+SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain
+
+.PHONY: all build vet fmt-check test race bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Everything CI enforces, runnable locally in one shot.
+ci: build vet fmt-check test race
+
+# bench-smoke runs each tracked benchmark for exactly one iteration and
+# writes the go-test JSON event stream (machine-readable: one JSON object
+# per line, benchmark metrics inside the Output events) to BENCH_<date>.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -benchtime 1x -json . > $(BENCH_OUT)
+	@grep -q 'ns/op' $(BENCH_OUT) || { echo "no benchmark results captured" >&2; exit 1; }
+	@echo "wrote $(BENCH_OUT)"
+
+clean:
+	rm -f BENCH_*.json

@@ -44,14 +44,9 @@ func main() {
 	savePath := flag.String("save", "", "write the trained SVM model as JSON")
 	flag.Parse()
 
-	var strategy dist.Strategy
-	switch *strategyName {
-	case "round-robin":
-		strategy = dist.RoundRobin
-	case "no-messaging":
-		strategy = dist.NoMessaging
-	default:
-		fmt.Fprintln(os.Stderr, "qkernel: unknown strategy", *strategyName)
+	strategy, err := dist.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qkernel:", err)
 		os.Exit(1)
 	}
 

@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/mps"
+)
+
+// runCrossRoundRobin computes the rectangular test×train kernel: test rows
+// and train states are both sharded round-robin; each process simulates its
+// two shards, the train shards are exchanged around the ring, and each
+// process fills the complete Gram rows of its test shard.
+func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, stats []ProcStats) error {
+	k := len(stats)
+	inboxes := make([]chan shard, k)
+	for p := range inboxes {
+		inboxes[p] = make(chan shard, k)
+	}
+	var simBarrier sync.WaitGroup
+	simBarrier.Add(k)
+	var failed atomic.Bool
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], inboxes, &simBarrier, &failed)
+		}(p)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
+	k := len(inboxes)
+	p := st.Rank
+	ownedTest := ownedIndices(len(testX), k, p)
+	ownedTrain := ownedIndices(len(trainX), k, p)
+	pl := procPool(q, k)
+
+	// Phase 1: simulate both local shards (test rows first, then train
+	// columns) behind the same barrier discipline as the training path.
+	testStates := make([]*mps.MPS, len(ownedTest))
+	trainStates := make([]*mps.MPS, len(ownedTrain))
+	var simErr error
+	st.SimTime = timed(func() {
+		simErr = pl.runErr(len(ownedTest)+len(ownedTrain), func(a int) error {
+			if a < len(ownedTest) {
+				s, err := q.State(testX[ownedTest[a]])
+				if err != nil {
+					return fmt.Errorf("dist: proc %d: test state %d: %w", p, ownedTest[a], err)
+				}
+				testStates[a] = s
+				return nil
+			}
+			b := a - len(ownedTest)
+			s, err := q.State(trainX[ownedTrain[b]])
+			if err != nil {
+				return fmt.Errorf("dist: proc %d: train state %d: %w", p, ownedTrain[b], err)
+			}
+			trainStates[b] = s
+			return nil
+		})
+	})
+	st.StatesSimulated = len(ownedTest) + len(ownedTrain)
+	if simErr != nil {
+		failed.Store(true)
+	}
+	simBarrier.Done()
+	simBarrier.Wait()
+	if simErr != nil {
+		return simErr
+	}
+	if failed.Load() {
+		return nil
+	}
+
+	// Phase 2: exchange the train shards. As in the training path, a
+	// marshal failure still completes the sends with an empty shard so no
+	// peer blocks waiting on it.
+	var own shard
+	var commErr error
+	st.CommTime += timed(func() {
+		own, commErr = marshalShard(p, ownedTrain, trainStates)
+		if commErr != nil {
+			own = shard{from: p}
+		}
+		st.MessagesSent, st.BytesSent = sendRing(p, own, inboxes)
+	})
+	if commErr != nil {
+		return commErr
+	}
+
+	// Phase 3a: local test rows × local train columns.
+	counts := make([]int, len(ownedTest))
+	st.InnerTime += timed(func() {
+		pl.run(len(ownedTest), func(a int) {
+			i := ownedTest[a]
+			for b, j := range ownedTrain {
+				gram[i][j] = mps.Overlap(testStates[a], trainStates[b])
+				counts[a]++
+			}
+		})
+	})
+
+	// Phase 3b: local test rows × each arriving remote train shard.
+	for r := 1; r < k; r++ {
+		var in shard
+		var remote []*mps.MPS
+		var commErr error
+		st.CommTime += timed(func() {
+			in = <-inboxes[p]
+			remote, commErr = unmarshalShard(in, q.Config)
+		})
+		if commErr != nil {
+			return commErr
+		}
+		st.InnerTime += timed(func() {
+			pl.run(len(ownedTest), func(a int) {
+				i := ownedTest[a]
+				for b, j := range in.indices {
+					gram[i][j] = mps.Overlap(testStates[a], remote[b])
+					counts[a]++
+				}
+			})
+		})
+	}
+	for _, c := range counts {
+		st.InnerProducts += c
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package dist is the simulated multi-process distribution layer of the
+// paper's section II-D and Fig. 4: it computes quantum-kernel Gram matrices
+// by splitting the work across k simulated processes, each running on its
+// own goroutine with a private worker pool, and reproduces the two
+// distribution strategies whose trade-off the paper measures:
+//
+//   - RoundRobin: states are sharded across processes; each process
+//     simulates only its shard and the shards are then exchanged through
+//     simulated messaging (serialised MPS payloads with per-message byte
+//     accounting) so every pairwise overlap is computed exactly once.
+//   - NoMessaging: Gram rows are sharded; each process redundantly
+//     simulates every state its rows touch and communicates nothing,
+//     trading simulation compute for zero communication volume.
+//
+// Both strategies produce Gram matrices identical (to floating-point
+// round-trip exactness) to the serial kernel.Gram path — the agreement is
+// enforced by the integration suite's six-path metamorphic test. Per-process
+// instrumentation separates simulation, inner-product and communication
+// wall-clock so the Fig. 8 runtime breakdown can be reproduced faithfully.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// Strategy selects how Gram-matrix work is split across the simulated
+// processes (paper Fig. 4).
+type Strategy int
+
+const (
+	// RoundRobin shards the states round-robin across processes and
+	// exchanges the shards through simulated messages.
+	RoundRobin Strategy = iota
+	// NoMessaging shards the Gram rows and simulates redundantly instead of
+	// communicating.
+	NoMessaging
+)
+
+// String returns the flag-style name used by cmd/qkernel and the benchmark
+// sub-test names.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case NoMessaging:
+		return "no-messaging"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps the flag-style names back to Strategy values.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin, nil
+	case "no-messaging":
+		return NoMessaging, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown strategy %q (want round-robin or no-messaging)", name)
+	}
+}
+
+// ProcStats instruments one simulated process. Phase times are elapsed
+// wall-clock within the process's own timeline, so for every process
+// SimTime+InnerTime+CommTime ≤ the run's total Wall, and summed over all
+// processes they bound the aggregate compute the cluster would spend.
+type ProcStats struct {
+	// Rank is the process index in [0, procs).
+	Rank int
+	// StatesSimulated counts feature-map circuit simulations executed by
+	// this process (including redundant ones under NoMessaging).
+	StatesSimulated int
+	// InnerProducts counts kernel entries (pairwise overlaps) computed by
+	// this process.
+	InnerProducts int
+	// MessagesSent counts simulated messages (one shard transfer each).
+	MessagesSent int
+	// BytesSent is the wire volume of those messages, including framing.
+	BytesSent int64
+	// SimTime is the wall-clock spent simulating states.
+	SimTime time.Duration
+	// InnerTime is the wall-clock spent computing overlaps.
+	InnerTime time.Duration
+	// CommTime is the wall-clock spent serialising, transferring and
+	// deserialising shards (plus waiting on in-flight messages).
+	CommTime time.Duration
+}
+
+// Result is a distributed Gram computation: the matrix itself, the total
+// wall-clock, and per-process instrumentation.
+type Result struct {
+	// Gram is the kernel matrix: square symmetric for ComputeGram,
+	// rectangular test×train for ComputeCross.
+	Gram [][]float64
+	// Wall is the end-to-end elapsed time of the computation.
+	Wall time.Duration
+	// Procs has one entry per simulated process, indexed by rank.
+	Procs []ProcStats
+}
+
+// MaxPhaseTimes returns, per phase, the maximum wall-clock over processes —
+// the quantity that bounds completion of a bulk-synchronous phase and the
+// bars of Fig. 8.
+func (r *Result) MaxPhaseTimes() (sim, inner, comm time.Duration) {
+	for _, p := range r.Procs {
+		if p.SimTime > sim {
+			sim = p.SimTime
+		}
+		if p.InnerTime > inner {
+			inner = p.InnerTime
+		}
+		if p.CommTime > comm {
+			comm = p.CommTime
+		}
+	}
+	return sim, inner, comm
+}
+
+// TotalBytes sums the simulated communication volume over all processes.
+func (r *Result) TotalBytes() int64 {
+	var b int64
+	for _, p := range r.Procs {
+		b += p.BytesSent
+	}
+	return b
+}
+
+// TotalMessages sums the simulated message count over all processes.
+func (r *Result) TotalMessages() int {
+	m := 0
+	for _, p := range r.Procs {
+		m += p.MessagesSent
+	}
+	return m
+}
+
+// ComputeGram computes the symmetric training Gram matrix K_ij = |⟨ψ_i,ψ_j⟩|²
+// for X on procs simulated processes under the given strategy. The result
+// agrees with the serial kernel.Gram path entry for entry.
+func ComputeGram(q *kernel.Quantum, X [][]float64, procs int, strategy Strategy) (*Result, error) {
+	if err := validate(q, procs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := len(X)
+	gram := square(n)
+	stats := newStats(procs)
+	var err error
+	switch strategy {
+	case RoundRobin:
+		err = runGramRoundRobin(q, X, gram, stats)
+	case NoMessaging:
+		err = runGramNoMessaging(q, X, gram, stats)
+	default:
+		return nil, fmt.Errorf("dist: unknown strategy %v", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mirror(gram)
+	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
+}
+
+// ComputeCross computes the rectangular inference kernel between test rows
+// and train rows on procs simulated processes. Test rows and train states
+// are both sharded round-robin; train shards are exchanged through simulated
+// messaging so each process fills the complete rows of its test shard.
+// Inference always uses the round-robin exchange — the paper's strategy
+// choice applies only to the training Gram computation, so a NoMessaging
+// training run will still report communication volume here.
+func ComputeCross(q *kernel.Quantum, testX, trainX [][]float64, procs int) (*Result, error) {
+	if err := validate(q, procs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	gram := rect(len(testX), len(trainX))
+	stats := newStats(procs)
+	if err := runCrossRoundRobin(q, testX, trainX, gram, stats); err != nil {
+		return nil, err
+	}
+	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
+}
+
+func validate(q *kernel.Quantum, procs int) error {
+	if q == nil {
+		return fmt.Errorf("dist: nil quantum kernel")
+	}
+	if procs < 1 {
+		return fmt.Errorf("dist: procs must be ≥ 1, got %d", procs)
+	}
+	return nil
+}
+
+func newStats(procs int) []ProcStats {
+	stats := make([]ProcStats, procs)
+	for p := range stats {
+		stats[p].Rank = p
+	}
+	return stats
+}
+
+// ownedIndices returns the indices in [0,n) assigned round-robin to rank p
+// of k processes; empty when p ≥ n.
+func ownedIndices(n, k, p int) []int {
+	var idx []int
+	for i := p; i < n; i += k {
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+func square(n int) [][]float64 {
+	return rect(n, n)
+}
+
+func rect(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+// mirror copies the computed upper triangle into the lower one.
+func mirror(gram [][]float64) {
+	for i := range gram {
+		for j := i + 1; j < len(gram); j++ {
+			gram[j][i] = gram[i][j]
+		}
+	}
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

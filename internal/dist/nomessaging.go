@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/mps"
+)
+
+// runGramNoMessaging executes the no-messaging strategy: Gram rows are
+// sharded round-robin and every process independently simulates each state
+// its rows touch. No synchronisation or messaging is needed — the processes
+// never exchange anything.
+func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, stats []ProcStats) error {
+	k := len(stats)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = gramProcNM(q, X, gram, &stats[p], k)
+		}(p)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStats, k int) error {
+	n := len(X)
+	p := st.Rank
+	owned := ownedIndices(n, k, p)
+	if len(owned) == 0 {
+		return nil
+	}
+	pl := procPool(q, k)
+
+	// Phase 1: redundant simulation. Row i needs every column j ≥ i, so the
+	// process must simulate every state from its first owned row onward —
+	// the compute the strategy pays for its zero communication.
+	lo := owned[0]
+	states := make([]*mps.MPS, n) // indexed globally; [0, lo) stays nil
+	var simErr error
+	st.SimTime = timed(func() {
+		simErr = pl.runErr(n-lo, func(a int) error {
+			i := lo + a
+			s, err := q.State(X[i])
+			if err != nil {
+				return fmt.Errorf("dist: proc %d: state %d: %w", p, i, err)
+			}
+			states[i] = s
+			return nil
+		})
+	})
+	st.StatesSimulated = n - lo
+	if simErr != nil {
+		return simErr
+	}
+
+	// Phase 2: the upper triangle of the owned rows, diagonal included.
+	counts := make([]int, len(owned))
+	st.InnerTime = timed(func() {
+		pl.run(len(owned), func(a int) {
+			i := owned[a]
+			for j := i; j < n; j++ {
+				gram[i][j] = mps.Overlap(states[i], states[j])
+				counts[a]++
+			}
+		})
+	})
+	for _, c := range counts {
+		st.InnerProducts += c
+	}
+	return nil
+}

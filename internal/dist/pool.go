@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+)
+
+// pool runs one simulated process's intra-process work (state simulations,
+// overlap batches) on a bounded set of goroutines — the analogue of the
+// cores available inside one node of the cluster.
+type pool struct {
+	workers int
+}
+
+// procPool sizes a process's worker pool: the k simulated processes share
+// the physical machine, so each gets an equal slice of the kernel's
+// concurrency bound (Quantum.Workers, defaulting to GOMAXPROCS), at least
+// one worker.
+func procPool(q *kernel.Quantum, k int) pool {
+	total := q.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	w := total / k
+	if w < 1 {
+		w = 1
+	}
+	return pool{workers: w}
+}
+
+// run invokes f(i) for every i in [0,n), spreading the calls over the pool's
+// workers. It returns once all calls have completed.
+func (pl pool) run(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := pl.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				f(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runErr is run for fallible tasks; it executes every task regardless of
+// failures and returns the first error by task index.
+func (pl pool) runErr(n int, f func(i int) error) error {
+	errs := make([]error, n)
+	pl.run(n, func(i int) {
+		errs[i] = f(i)
+	})
+	return firstError(errs)
+}

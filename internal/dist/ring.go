@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mps"
+)
+
+// Simulated wire framing: a shard message carries its origin rank and state
+// count, then one (global index, payload length, payload) record per state.
+const (
+	shardHeaderBytes = 16
+	stateHeaderBytes = 16
+)
+
+// shard is one simulated message: the serialised MPS states of one process's
+// block, tagged with their global indices and origin rank. Because shards
+// are tagged, the receive order within the exchange phase is irrelevant —
+// exactly what makes the ring schedule deadlock-free on buffered inboxes.
+type shard struct {
+	from    int
+	indices []int
+	blobs   [][]byte
+}
+
+// wireBytes is the accounted size of the shard on the simulated wire.
+func (s shard) wireBytes() int64 {
+	b := int64(shardHeaderBytes)
+	for _, blob := range s.blobs {
+		b += stateHeaderBytes + int64(len(blob))
+	}
+	return b
+}
+
+// marshalShard serialises a block of states for transfer. indices and states
+// run in parallel.
+func marshalShard(from int, indices []int, states []*mps.MPS) (shard, error) {
+	s := shard{from: from, indices: indices, blobs: make([][]byte, len(states))}
+	for a, st := range states {
+		blob, err := st.MarshalBinary()
+		if err != nil {
+			return shard{}, fmt.Errorf("dist: marshal state %d: %w", indices[a], err)
+		}
+		s.blobs[a] = blob
+	}
+	return s, nil
+}
+
+// unmarshalShard reconstructs the states of a received shard, attaching the
+// receiver's simulator configuration.
+func unmarshalShard(s shard, cfg mps.Config) ([]*mps.MPS, error) {
+	states := make([]*mps.MPS, len(s.blobs))
+	for a, blob := range s.blobs {
+		st, err := mps.UnmarshalBinary(blob, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dist: unmarshal state %d from proc %d: %w", s.indices[a], s.from, err)
+		}
+		states[a] = st
+	}
+	return states, nil
+}
+
+// sendRing performs rank p's send side of the exchange: one copy of its
+// shard to every other process, walking the ring (p+1, p+2, …) so the
+// per-round destinations rotate as in the paper's round-robin schedule.
+// Inboxes are buffered to hold every message a process can receive, so
+// sends never block and a process that fails mid-exchange cannot deadlock
+// its peers. Returns the accounted messages and bytes.
+func sendRing(p int, s shard, inboxes []chan shard) (messages int, bytes int64) {
+	k := len(inboxes)
+	for r := 1; r < k; r++ {
+		inboxes[(p+r)%k] <- s
+		messages++
+		bytes += s.wireBytes()
+	}
+	return messages, bytes
+}
+
+// timed runs f and returns its elapsed wall-clock.
+func timed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

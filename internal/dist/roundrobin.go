@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/mps"
+)
+
+// runGramRoundRobin executes the round-robin strategy: one goroutine per
+// simulated process, a simulation barrier, then the ring exchange of
+// serialised shards interleaved with the overlap computation.
+func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, stats []ProcStats) error {
+	k := len(stats)
+	inboxes := make([]chan shard, k)
+	for p := range inboxes {
+		// Capacity for every message a process can receive: senders never
+		// block, so no exchange schedule can deadlock.
+		inboxes[p] = make(chan shard, k)
+	}
+	var simBarrier sync.WaitGroup
+	simBarrier.Add(k)
+	var failed atomic.Bool
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = gramProcRR(q, X, gram, &stats[p], inboxes, &simBarrier, &failed)
+		}(p)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
+	k := len(inboxes)
+	p := st.Rank
+	owned := ownedIndices(len(X), k, p)
+	pl := procPool(q, k)
+
+	// Phase 1: simulate the local shard, then synchronise — the exchange
+	// must not start while any process can still fail simulation and leave
+	// its peers waiting on a shard that never arrives.
+	states := make([]*mps.MPS, len(owned))
+	var simErr error
+	st.SimTime = timed(func() {
+		simErr = pl.runErr(len(owned), func(a int) error {
+			s, err := q.State(X[owned[a]])
+			if err != nil {
+				return fmt.Errorf("dist: proc %d: state %d: %w", p, owned[a], err)
+			}
+			states[a] = s
+			return nil
+		})
+	})
+	st.StatesSimulated = len(owned)
+	if simErr != nil {
+		failed.Store(true)
+	}
+	simBarrier.Done()
+	simBarrier.Wait()
+	if simErr != nil {
+		return simErr
+	}
+	if failed.Load() {
+		return nil // a peer failed simulation; it reports the error
+	}
+
+	// Phase 2: serialise the local shard once and send a copy to every
+	// other process around the ring. On a marshal failure the sends still
+	// complete (with an empty shard) so no peer blocks on a receive that
+	// would never arrive; the error is reported after.
+	var own shard
+	var commErr error
+	st.CommTime += timed(func() {
+		own, commErr = marshalShard(p, owned, states)
+		if commErr != nil {
+			own = shard{from: p}
+		}
+		st.MessagesSent, st.BytesSent = sendRing(p, own, inboxes)
+	})
+	if commErr != nil {
+		return commErr
+	}
+
+	// Phase 3a: overlaps within the local shard — the upper triangle
+	// including the diagonal, oriented (i first) exactly as the serial path.
+	counts := make([]int, len(owned))
+	st.InnerTime += timed(func() {
+		pl.run(len(owned), func(a int) {
+			for b := a; b < len(owned); b++ {
+				gram[owned[a]][owned[b]] = mps.Overlap(states[a], states[b])
+				counts[a]++
+			}
+		})
+	})
+
+	// Phase 3b: receive the other k−1 shards; deserialise each (comm) and
+	// compute the cross pairs this rank owns: (i, j) with i local, j remote,
+	// i < j. The mirror-image j < i pairs are computed by the remote rank
+	// when this rank's shard reaches it, so every entry is computed exactly
+	// once cluster-wide.
+	for r := 1; r < k; r++ {
+		var in shard
+		var remote []*mps.MPS
+		var commErr error
+		st.CommTime += timed(func() {
+			in = <-inboxes[p]
+			remote, commErr = unmarshalShard(in, q.Config)
+		})
+		if commErr != nil {
+			return commErr
+		}
+		st.InnerTime += timed(func() {
+			pl.run(len(owned), func(a int) {
+				i := owned[a]
+				for b, j := range in.indices {
+					if j > i {
+						gram[i][j] = mps.Overlap(states[a], remote[b])
+						counts[a]++
+					}
+				}
+			})
+		})
+	}
+	for _, c := range counts {
+		st.InnerProducts += c
+	}
+	return nil
+}

@@ -85,6 +85,9 @@ func TestPredictGramSecondsScaling(t *testing.T) {
 }
 
 func TestFitCostModelOnRealSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment sweep (full Fig. 5 timing run)")
+	}
 	// End-to-end: fit from an actual miniature sweep; the fitted model must
 	// predict the measured top point within a generous factor.
 	res, err := RunFig5TableI(Fig5Params{

@@ -193,6 +193,9 @@ func TestFig8SmallRun(t *testing.T) {
 }
 
 func TestQMLSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment sweep (full QML grid with SVM training)")
+	}
 	res, err := RunFig9Fig10(QMLParams{
 		SampleSizes: []int{40},
 		FeatureGrid: []int{6, 12},
@@ -220,6 +223,9 @@ func TestQMLSmallRun(t *testing.T) {
 }
 
 func TestTableIISmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment sweep (kernel grid with SVM training)")
+	}
 	res, err := RunTableII(TableIIParams{
 		Features:  8,
 		DataSize:  40,
@@ -251,6 +257,9 @@ func TestTableIISmallRun(t *testing.T) {
 }
 
 func TestTableIIISmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment sweep (depth ablation with SVM training)")
+	}
 	res, err := RunTableIII(TableIIIParams{
 		Features: 8,
 		DataSize: 40,

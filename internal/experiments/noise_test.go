@@ -6,6 +6,9 @@ import (
 )
 
 func TestTruncationNoiseSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment sweep (budget grid over full Gram matrices)")
+	}
 	res, err := RunTruncationNoise(NoiseParams{
 		Features: 8,
 		DataSize: 24,
