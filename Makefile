@@ -3,10 +3,17 @@ DATE    := $(shell date +%Y-%m-%d)
 BENCH_OUT := BENCH_$(DATE).json
 
 # The 1-iteration smoke subset: the distributed-Gram benchmarks this repo's
-# perf trajectory tracks, plus one simulator and one solver bench.
-SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain
+# perf trajectory tracks, plus one simulator bench, one solver bench and the
+# cache/overlap-engine benches added with the state cache.
+SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain|BenchmarkFitPredictRoundTrip|BenchmarkGramFromStates
 
-.PHONY: all build vet fmt-check test race bench-smoke ci clean
+# The committed perf baseline: the newest BENCH_<date>.json tracked by git.
+# bench-check reads the blob from HEAD (not the working tree), so a fresh
+# `make bench-smoke` that overwrites the same-day baseline file on disk
+# cannot make the gate compare a run against itself.
+BASELINE := $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
+
+.PHONY: all build vet fmt-check test race bench-smoke bench-check ci clean
 
 all: build
 
@@ -39,5 +46,16 @@ bench-smoke:
 	@grep -q 'ns/op' $(BENCH_OUT) || { echo "no benchmark results captured" >&2; exit 1; }
 	@echo "wrote $(BENCH_OUT)"
 
+# bench-check is the CI regression gate: rerun the tracked benches (3
+# iterations to tame smoke-level noise) into an uncommitted scratch file and
+# fail on >20% ns/op regressions against the committed baseline. Benches
+# under 1ms are reported but not gated — at smoke iteration counts their
+# noise exceeds any threshold worth enforcing.
+bench-check:
+	@test -n "$(BASELINE)" || { echo "bench-check: no committed BENCH_*.json baseline" >&2; exit 1; }
+	git show HEAD:$(BASELINE) > bench_baseline.json
+	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -benchtime 3x -json . > bench_current.json
+	$(GO) run ./cmd/benchdiff -baseline bench_baseline.json -current bench_current.json -threshold 0.20
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json bench_current.json bench_baseline.json

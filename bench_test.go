@@ -12,11 +12,13 @@
 package main
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/experiments"
@@ -370,6 +372,81 @@ func BenchmarkAblationCanonicalization(b *testing.B) {
 			}
 			b.ReportMetric(float64(chi), "χ")
 		})
+	}
+}
+
+// --- State cache & zero-realloc overlap engine ------------------------------
+
+// BenchmarkFitPredictRoundTrip measures the full train→infer pipeline cold
+// (fresh framework, empty cache) vs warm (same framework refit: every
+// training state is a cache hit and the model's retained handles make
+// inference communication-free). The warm/cold ratio is the tentpole's
+// headline speedup; the hit-rate metric should read 0 cold and 1 warm.
+func BenchmarkFitPredictRoundTrip(b *testing.B) {
+	const n, nTest, features = 48, 16, 16
+	data := benchData(b, n+nTest, features)
+	trainX, testX := data[:n], data[n:]
+	y := make([]int, n)
+	for i := range y {
+		if i%2 == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	newFramework := func(b *testing.B) *core.Framework {
+		fw, err := core.New(core.Options{Features: features, Gamma: 0.5, C: 1, Procs: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fw
+	}
+	roundTrip := func(b *testing.B, fw *core.Framework) *core.FitReport {
+		model, report, err := fw.Fit(trainX, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fw.Predict(model, testX); err != nil {
+			b.Fatal(err)
+		}
+		return report
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		var rep *core.FitReport
+		for i := 0; i < b.N; i++ {
+			rep = roundTrip(b, newFramework(b))
+		}
+		b.ReportMetric(rep.CacheHitRate, "hit-rate")
+	})
+	b.Run("warm", func(b *testing.B) {
+		fw := newFramework(b)
+		roundTrip(b, fw) // populate the cache outside the timer
+		b.ResetTimer()
+		b.ReportAllocs()
+		var rep *core.FitReport
+		for i := 0; i < b.N; i++ {
+			rep = roundTrip(b, fw)
+		}
+		b.ReportMetric(rep.CacheHitRate, "hit-rate")
+	})
+}
+
+// BenchmarkGramFromStates isolates the O(N²) overlap stage: states are
+// simulated once outside the timer, so ns/op and allocs/op measure the
+// row-band scheduler and the per-worker zero-realloc workspaces alone.
+func BenchmarkGramFromStates(b *testing.B) {
+	rows := benchData(b, 32, 16)
+	q := &kernel.Quantum{Ansatz: circuit.Ansatz{Qubits: 16, Layers: 2, Distance: 2, Gamma: 0.5}}
+	states, err := q.States(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = kernel.GramFromStates(states, runtime.GOMAXPROCS(0))
 	}
 }
 

@@ -1,0 +1,179 @@
+// Command benchdiff compares two benchmark result files produced by
+// `go test -bench -json` (the BENCH_<date>.json format this repository's
+// perf trajectory tracks) and fails when a tracked benchmark regressed
+// beyond a threshold — the CI gate of the ROADMAP's "flag regressions >20%"
+// item.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_2026-07-29.json -current bench_current.json
+//	          [-threshold 0.20] [-match 'Fig8|DistStrategies'] [-min-ns 1e6]
+//
+// Benchmarks present on only one side are reported but do not fail the run
+// (new benches appear, old ones are retired) — unless nothing at all
+// remains to gate, which exits 2: a fully renamed tracked set or an
+// over-narrow -match must force a baseline refresh rather than pass
+// silently. Sub-millisecond benches are skipped by default: at 1–3 bench
+// iterations their scheduler noise swamps any real signal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream benchdiff consumes.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// nsPerOp extracts the ns/op figure from a benchmark result line like
+// "BenchmarkFoo-8   \t       3\t  40321317 ns/op\t ...".
+func nsPerOp(line string) (float64, bool) {
+	fields := strings.Fields(line)
+	for i, f := range fields {
+		if f == "ns/op" && i > 0 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// load parses a go-test JSON event stream into benchmark → ns/op. The
+// result line may be split across several Output events, so lines are
+// reassembled per benchmark before scanning.
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	partial := map[string]string{}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: malformed event %q: %w", path, line, err)
+		}
+		if ev.Action != "output" || ev.Test == "" {
+			continue
+		}
+		partial[ev.Test] += ev.Output
+		for {
+			text := partial[ev.Test]
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			full, rest := text[:nl], text[nl+1:]
+			partial[ev.Test] = rest
+			if v, ok := nsPerOp(full); ok {
+				out[ev.Test] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH_<date>.json")
+	currentPath := flag.String("current", "", "freshly generated bench result file")
+	threshold := flag.Float64("threshold", 0.20, "fail when current/baseline − 1 exceeds this fraction")
+	match := flag.String("match", ".*", "only gate benchmarks whose name matches this regexp")
+	minNs := flag.Float64("min-ns", 1e6, "skip benchmarks whose baseline is below this many ns/op (too noisy at smoke iteration counts)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -match:", err)
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	compared := 0
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("  ?  %-55s retired (absent from current run)\n", name)
+			continue
+		}
+		if !re.MatchString(name) {
+			continue
+		}
+		if base < *minNs {
+			fmt.Printf("  ~  %-55s %12.0f → %12.0f ns/op (below -min-ns, not gated)\n", name, base, cur)
+			continue
+		}
+		compared++
+		delta := cur/base - 1
+		mark := "ok "
+		if delta > *threshold {
+			mark = "REG"
+			regressed++
+		}
+		fmt.Printf("  %s %-55s %12.0f → %12.0f ns/op  %+6.1f%%\n", mark, name, base, cur, 100*delta)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("  +  %-55s new bench (no baseline)\n", name)
+		}
+	}
+
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks left to gate — check -match, or refresh the committed baseline if the tracked set was renamed")
+		os.Exit(2)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d gated benchmarks regressed >%.0f%% vs %s\n",
+			regressed, compared, 100**threshold, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d gated benchmarks within %.0f%% of %s\n", compared, 100**threshold, *baselinePath)
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	qkernel [-size 200] [-features 50] [-d 1] [-layers 2] [-gamma 0.5]
-//	        [-procs 4] [-strategy round-robin] [-baseline]
+//	        [-procs 4] [-strategy round-robin] [-baseline] [-cache-mb 256]
 //	        [-data file.csv] [-label-col 0] [-save model.json]
 //
 // With -data, samples are loaded from CSV (label column selectable; the
@@ -25,6 +25,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/kernel"
+	"repro/internal/statecache"
 	"repro/internal/svm"
 )
 
@@ -37,6 +38,7 @@ func main() {
 	procs := flag.Int("procs", 4, "simulated distributed processes")
 	strategyName := flag.String("strategy", "round-robin", "round-robin | no-messaging")
 	baseline := flag.Bool("baseline", false, "also train the Gaussian-kernel baseline")
+	cacheMB := flag.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	seed := flag.Int64("seed", 1, "data seed")
 	dataPath := flag.String("data", "", "optional CSV dataset (otherwise synthetic)")
 	labelCol := flag.Int("label-col", 0, "label column index in the CSV")
@@ -78,6 +80,12 @@ func main() {
 	q := &kernel.Quantum{
 		Ansatz: circuit.Ansatz{Qubits: *features, Layers: *layers, Distance: *distance, Gamma: *gamma},
 	}
+	if *cacheMB > 0 {
+		q.Cache = statecache.New(int64(*cacheMB) << 20)
+		if strategy == dist.NoMessaging {
+			fmt.Println("note: the state cache dedupes no-messaging's redundant simulations; pass -cache-mb 0 to measure the pure compute-for-communication trade-off")
+		}
+	}
 	t0 := time.Now()
 	gramRes, err := dist.ComputeGram(q, train.X, *procs, strategy)
 	if err != nil {
@@ -90,10 +98,18 @@ func main() {
 		sim.Round(time.Millisecond), inner.Round(time.Millisecond), comm.Round(time.Millisecond),
 		float64(gramRes.TotalBytes())/(1<<20))
 
-	crossRes, err := dist.ComputeCross(q, test.X, train.X, *procs)
+	// The retained training states make the inference kernel
+	// communication-free: only the test rows are simulated.
+	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, *procs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qkernel: inference kernel:", err)
 		os.Exit(1)
+	}
+	if q.Cache != nil {
+		s := q.Cache.Stats()
+		fmt.Printf("state cache: %d/%d hits (%.0f%%), %d resident states, %.1f/%.0f MiB used, %d evictions\n",
+			s.Hits, s.Hits+s.Misses, 100*s.HitRate(), s.Entries,
+			float64(s.Bytes)/(1<<20), float64(s.Budget)/(1<<20), s.Evictions)
 	}
 
 	model, met, bestC, err := svm.TrainBestC(gramRes.Gram, train.Y, crossRes.Gram, test.Y, nil, 0)

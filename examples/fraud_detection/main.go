@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/kernel"
+	"repro/internal/statecache"
 	"repro/internal/svm"
 )
 
@@ -25,6 +27,8 @@ func main() {
 		size     = 160 // balanced: 80 illicit + 80 licit
 		procs    = 4
 	)
+	cacheMB := flag.Int("cache-mb", 128, "χ-aware simulated-state cache budget in MiB (0 disables)")
+	flag.Parse()
 
 	fmt.Println("== data ==")
 	full := dataset.GenerateElliptic(dataset.EllipticConfig{
@@ -46,6 +50,9 @@ func main() {
 	q := &kernel.Quantum{
 		Ansatz: circuit.Ansatz{Qubits: features, Layers: 2, Distance: 1, Gamma: 0.5},
 	}
+	if *cacheMB > 0 {
+		q.Cache = statecache.New(int64(*cacheMB) << 20)
+	}
 	t0 := time.Now()
 	gramRes, err := dist.ComputeGram(q, train.X, procs, dist.RoundRobin)
 	if err != nil {
@@ -56,9 +63,16 @@ func main() {
 		len(gramRes.Procs), gramRes.Wall.Round(time.Millisecond), sim.Round(time.Millisecond),
 		inner.Round(time.Millisecond), comm.Round(time.Millisecond), float64(gramRes.TotalBytes())/(1<<20))
 
-	crossRes, err := dist.ComputeCross(q, test.X, train.X, procs)
+	// Inference reuses the training states retained by the Gram run:
+	// zero training-set re-simulation, zero communication.
+	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, procs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if q.Cache != nil {
+		s := q.Cache.Stats()
+		fmt.Printf("state cache: %d hits / %d misses, %.1f MiB of %.0f MiB resident\n",
+			s.Hits, s.Misses, float64(s.Bytes)/(1<<20), float64(s.Budget)/(1<<20))
 	}
 	_, qMet, qC, err := svm.TrainBestC(gramRes.Gram, train.Y, crossRes.Gram, test.Y, nil, 0)
 	if err != nil {

@@ -23,8 +23,14 @@ import (
 	"repro/internal/dist"
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/statecache"
 	"repro/internal/svm"
 )
+
+// DefaultCacheBytes is the default χ-aware state-cache budget (256 MiB):
+// roughly 10⁵ low-χ training states, or a few hundred at the paper's
+// largest bond dimensions.
+const DefaultCacheBytes int64 = 256 << 20
 
 // Options configures the framework.
 type Options struct {
@@ -48,6 +54,14 @@ type Options struct {
 	// accelerator-role backend (worthwhile only at large bond dimension —
 	// see the Fig. 5 crossover).
 	UseParallelBackend bool
+	// CacheBytes bounds the χ-aware simulated-state cache shared by Fit
+	// and Predict (0 selects DefaultCacheBytes; negative disables caching
+	// entirely). The budget is charged by actual MPS payload, so it adapts
+	// to the ansatz's bond dimension. A negative value is the full
+	// memory-for-compute opt-out: it also stops Fit from retaining the
+	// training-state handles on the Model, so Predict re-simulates the
+	// training rows instead of pinning them in memory.
+	CacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -69,7 +83,11 @@ func (o Options) withDefaults() Options {
 // Framework is a configured quantum-kernel classification pipeline.
 type Framework struct {
 	opts Options
-	q    *kernel.Quantum
+	// cacheBudget is the resolved byte budget (Options.CacheBytes with the
+	// zero-means-default rule applied; negative = caching and handle
+	// retention disabled).
+	cacheBudget int64
+	q           *kernel.Quantum
 }
 
 // New validates the options and builds a framework.
@@ -88,19 +106,43 @@ func New(opts Options) (*Framework, error) {
 	if opts.UseParallelBackend {
 		cfg.Backend = backend.NewParallel(0)
 	}
+	// Resolve the effective budget once; cacheBudget < 0 means the full
+	// memory-for-compute opt-out (no cache, no retained handles).
+	cacheBudget := opts.CacheBytes
+	if cacheBudget == 0 {
+		cacheBudget = DefaultCacheBytes
+	}
+	var cache *statecache.Cache
+	if cacheBudget > 0 {
+		cache = statecache.New(cacheBudget)
+	}
 	return &Framework{
-		opts: opts,
-		q:    &kernel.Quantum{Ansatz: ansatz, Config: cfg},
+		opts:        opts,
+		cacheBudget: cacheBudget,
+		q:           &kernel.Quantum{Ansatz: ansatz, Config: cfg, Cache: cache},
 	}, nil
 }
 
+// CacheStats snapshots the framework's state-cache counters; the zero Stats
+// when caching is disabled.
+func (f *Framework) CacheStats() statecache.Stats {
+	return f.q.Cache.Stats()
+}
+
 // Model bundles the trained SVM with the training inputs needed at
-// inference time (the paper stores the training-stage MPS; storing the raw
-// rows and re-simulating on demand trades memory for compute).
+// inference time.
 type Model struct {
 	SVM    *svm.Model
 	TrainX [][]float64
 	TrainY []int
+	// States are the retained training-stage MPS handles — the paper's
+	// "store the MPS" option. While present, Predict computes the inference
+	// kernel directly against them (zero training-set re-simulation, zero
+	// simulated communication). Nil when Options.CacheBytes is negative
+	// (the memory-bounded opt-out) or after deserialising a model; Predict
+	// then falls back to re-simulating the training rows through the state
+	// cache.
+	States []*mps.MPS
 }
 
 // FitReport describes the training run.
@@ -113,6 +155,12 @@ type FitReport struct {
 	BestC       float64
 	TrainAUC    float64
 	SupportVecs int
+	// CacheHits / CacheMisses count training-state requests served by the
+	// state cache vs simulated during this Fit; CacheHitRate is their
+	// ratio (1.0 on a fully warm refit, 0 with caching disabled).
+	CacheHits    int
+	CacheMisses  int
+	CacheHitRate float64
 }
 
 // Fit computes the training Gram matrix with the configured distribution
@@ -127,6 +175,11 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 	}
 	report := &FitReport{GramWall: res.Wall, BytesSent: res.TotalBytes()}
 	report.SimWall, report.InnerWall, report.CommWall = res.MaxPhaseTimes()
+	report.CacheHits = res.TotalCacheHits()
+	report.CacheMisses = res.TotalStatesSimulated()
+	if total := report.CacheHits + report.CacheMisses; total > 0 && f.q.Cache != nil {
+		report.CacheHitRate = float64(report.CacheHits) / float64(total)
+	}
 
 	var model *svm.Model
 	if f.opts.C > 0 {
@@ -154,7 +207,27 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 		}
 	}
 	report.SupportVecs = len(model.SupportVectors())
-	return &Model{SVM: model, TrainX: X, TrainY: y}, report, nil
+	return &Model{SVM: model, TrainX: X, TrainY: y, States: f.retainStates(res.States)}, report, nil
+}
+
+// retainStates decides whether the model keeps its training-state handles.
+// CacheBytes is the user's memory bound, so it governs both resident sets:
+// handles are dropped when caching is disabled (negative budget) or when
+// their total payload would exceed the budget on its own — Predict then
+// degrades gracefully to re-materialising training states through the
+// (bounded) cache instead of pinning an unbounded O(N·m·χ²) set.
+func (f *Framework) retainStates(states []*mps.MPS) []*mps.MPS {
+	if f.cacheBudget < 0 {
+		return nil
+	}
+	var bytes int64
+	for _, st := range states {
+		bytes += st.MemoryBytes()
+	}
+	if bytes > f.cacheBudget {
+		return nil
+	}
+	return states
 }
 
 // selectC sweeps the paper's C grid on a deterministic 80/20 split of the
@@ -210,11 +283,20 @@ func bothClasses(y []int, idx []int) bool {
 }
 
 // Predict returns decision scores for new rows (positive ⇒ illicit class).
+// When the model retains its training-state handles (the default after
+// Fit), only the new rows are simulated; otherwise the training rows are
+// re-materialised through the state cache.
 func (f *Framework) Predict(m *Model, X [][]float64) ([]float64, error) {
 	if m == nil || m.SVM == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
-	res, err := dist.ComputeCross(f.q, X, m.TrainX, f.opts.Procs)
+	var res *dist.Result
+	var err error
+	if m.States != nil {
+		res, err = dist.ComputeCrossStates(f.q, X, m.States, f.opts.Procs)
+	} else {
+		res, err = dist.ComputeCross(f.q, X, m.TrainX, f.opts.Procs)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: inference kernel: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/dist"
+	"repro/internal/statecache"
 	"repro/internal/svm"
 )
 
@@ -126,6 +127,137 @@ func TestNoMessagingStrategyWorks(t *testing.T) {
 	}
 	_ = m1
 	_ = m2
+}
+
+// TestPredictZeroResimulation is the tentpole acceptance check: after Fit,
+// the model retains its training-state handles, so Predict simulates only
+// the new rows — asserted through the cache counters (every simulation is a
+// recorded miss) — and a refit over the same rows is served entirely from
+// the cache.
+func TestPredictZeroResimulation(t *testing.T) {
+	train, test := preparedData(t, 8, 24)
+	fw, err := New(Options{Features: 8, C: 1, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, report, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CacheMisses != train.Len() || report.CacheHits != 0 {
+		t.Fatalf("cold fit: hits/misses %d/%d, want 0/%d", report.CacheHits, report.CacheMisses, train.Len())
+	}
+	if len(model.States) != train.Len() {
+		t.Fatalf("model retains %d states for %d training rows", len(model.States), train.Len())
+	}
+
+	before := fw.CacheStats()
+	if _, err := fw.Predict(model, test.X); err != nil {
+		t.Fatal(err)
+	}
+	after := fw.CacheStats()
+	if sims := after.Misses - before.Misses; sims != int64(test.Len()) {
+		t.Fatalf("predict simulated %d states, want only the %d test rows", sims, test.Len())
+	}
+	if after.Hits != before.Hits {
+		t.Fatalf("predict touched the cache for training states (%d new hits); handles should bypass it", after.Hits-before.Hits)
+	}
+
+	// A refit over the same rows is fully warm.
+	_, report2, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.CacheHits != train.Len() || report2.CacheMisses != 0 || report2.CacheHitRate != 1 {
+		t.Fatalf("warm refit: %+v", report2)
+	}
+
+	// Dropping the handles falls back to the cache — still no simulations.
+	model.States = nil
+	mid := fw.CacheStats()
+	if _, err := fw.Predict(model, test.X); err != nil {
+		t.Fatal(err)
+	}
+	end := fw.CacheStats()
+	if end.Misses != mid.Misses {
+		t.Fatalf("handle-less predict re-simulated %d states despite a warm cache", end.Misses-mid.Misses)
+	}
+}
+
+// TestRetentionHonoursBudget: a tiny positive budget keeps the cache
+// bounded AND stops the model from pinning a training-state set larger than
+// that budget — Predict degrades to re-simulation instead of OOM.
+func TestRetentionHonoursBudget(t *testing.T) {
+	train, test := preparedData(t, 8, 16)
+	fw, err := New(Options{Features: 8, C: 1, CacheBytes: 1024}) // far below the states' payload
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.States != nil {
+		t.Fatalf("model pinned %d states past a 1 KiB budget", len(model.States))
+	}
+	if s := fw.CacheStats(); s.Bytes > s.Budget {
+		t.Fatalf("cache over budget: %+v", s)
+	}
+	if _, err := fw.Predict(model, test.X); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictWidthMismatchErrors: retained handles from one framework fed
+// through a narrower one must error, not panic.
+func TestPredictWidthMismatchErrors(t *testing.T) {
+	train, _ := preparedData(t, 8, 16)
+	wide, err := New(Options{Features: 8, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := wide.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := New(Options{Features: 6, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowRows := make([][]float64, 2)
+	for i := range narrowRows {
+		narrowRows[i] = train.X[i][:6]
+	}
+	if _, err := narrow.Predict(model, narrowRows); err == nil {
+		t.Fatal("8-qubit retained states accepted by a 6-qubit framework")
+	}
+}
+
+// TestCacheDisabled: a negative budget switches caching off end to end.
+func TestCacheDisabled(t *testing.T) {
+	train, _ := preparedData(t, 8, 16)
+	fw, err := New(Options{Features: 8, C: 1, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, report, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CacheHits != 0 || report.CacheHitRate != 0 {
+		t.Fatalf("disabled cache reported hits: %+v", report)
+	}
+	if s := fw.CacheStats(); s != (statecache.Stats{}) {
+		t.Fatalf("disabled cache has stats %+v", s)
+	}
+	// The memory opt-out also drops the retained handles: nothing pins the
+	// training states, and Predict falls back to re-simulation.
+	if model.States != nil {
+		t.Fatalf("CacheBytes<0 still retained %d states", len(model.States))
+	}
+	if _, err := fw.Predict(model, train.X[:4]); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestSelectCDegenerateFallback(t *testing.T) {

@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mps"
+	"repro/internal/statecache"
+)
+
+func cachedTestKernel(features int) *kernel.Quantum {
+	q := testKernel(features)
+	q.Cache = statecache.New(128 << 20)
+	return q
+}
+
+// TestCachedStrategiesAgree: with a shared state cache both strategies still
+// agree with the uncached serial path to 1e-12 (the acceptance tolerance;
+// the states and contraction are in fact identical).
+func TestCachedStrategiesAgree(t *testing.T) {
+	X := testData(t, 11, 6)
+	ref, err := testKernel(6).Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
+		res, err := ComputeGram(cachedTestKernel(6), X, 3, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		for i := range ref {
+			for j := range ref[i] {
+				if math.Abs(ref[i][j]-res.Gram[i][j]) > 1e-12 {
+					t.Fatalf("%v: entry (%d,%d) cached %v vs uncached %v", strat, i, j, res.Gram[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestNoMessagingCacheCollapsesRedundancy: the in-flight deduplication turns
+// the strategy's redundant simulations into exactly n cluster-wide — the
+// rest arrive as cache hits.
+func TestNoMessagingCacheCollapsesRedundancy(t *testing.T) {
+	n := 12
+	X := testData(t, n, 6)
+	q := cachedTestKernel(6)
+	res, err := ComputeGram(q, X, 4, NoMessaging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims := res.TotalStatesSimulated(); sims != n {
+		t.Fatalf("cached no-messaging simulated %d states, want exactly %d", sims, n)
+	}
+	if hits := res.TotalCacheHits(); hits == 0 {
+		t.Fatal("cached no-messaging recorded no hits despite overlapping shards")
+	}
+}
+
+// TestCrossReusesGramStates: after a ComputeGram on the training rows, the
+// inference kernel simulates only the test rows — the entire training shard
+// is served by the cache.
+func TestCrossReusesGramStates(t *testing.T) {
+	train := testData(t, 10, 6)
+	test := testData(t, 17, 6)[10:] // disjoint rows from the same distribution
+	q := cachedTestKernel(6)
+
+	if _, err := ComputeGram(q, train, 3, RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ComputeCross(q, test, train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims := res.TotalStatesSimulated(); sims != len(test) {
+		t.Fatalf("cross after gram simulated %d states, want only the %d test rows", sims, len(test))
+	}
+	if hits := res.TotalCacheHits(); hits < len(train) {
+		t.Fatalf("cross after gram hit the cache %d times, want ≥ %d", hits, len(train))
+	}
+
+	ref, err := testKernel(6).Cross(test, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgree(t, "cached-cross", ref, res.Gram)
+}
+
+// TestResultStatesRetained: ComputeGram hands back the simulated training
+// states under both strategies, indexed like the input rows.
+func TestResultStatesRetained(t *testing.T) {
+	X := testData(t, 9, 6)
+	q := testKernel(6)
+	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
+		res, err := ComputeGram(q, X, 3, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(res.States) != len(X) {
+			t.Fatalf("%v: %d retained states for %d rows", strat, len(res.States), len(X))
+		}
+		for i, st := range res.States {
+			if st == nil {
+				t.Fatalf("%v: retained state %d is nil", strat, i)
+			}
+		}
+		// The retained handles reproduce the Gram diagonal and a spot-check
+		// row exactly.
+		for i := range X {
+			if v := mps.Overlap(res.States[i], res.States[i]); math.Abs(v-res.Gram[i][i]) > 1e-12 {
+				t.Fatalf("%v: retained state %d self-overlap %v vs gram %v", strat, i, v, res.Gram[i][i])
+			}
+			if v := mps.Overlap(res.States[0], res.States[i]); math.Abs(v-res.Gram[0][i]) > 1e-12 {
+				t.Fatalf("%v: retained states (0,%d) overlap %v vs gram %v", strat, i, v, res.Gram[0][i])
+			}
+		}
+	}
+}
+
+// TestComputeCrossStates: inference from retained handles matches the
+// simulate-everything path bit for bit, simulates only the test rows, and
+// communicates nothing.
+func TestComputeCrossStates(t *testing.T) {
+	train := testData(t, 8, 6)
+	test := testData(t, 13, 6)[8:]
+	q := testKernel(6)
+
+	gramRes, err := ComputeGram(q, train, 3, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ComputeCross(q, test, train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ComputeCrossStates(q, test, gramRes.States, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgree(t, "cross-from-states", ref.Gram, res.Gram)
+	if sims := res.TotalStatesSimulated(); sims != len(test) {
+		t.Fatalf("cross-from-states simulated %d states, want %d", sims, len(test))
+	}
+	if res.TotalBytes() != 0 || res.TotalMessages() != 0 {
+		t.Fatalf("cross-from-states communicated: %d bytes, %d messages", res.TotalBytes(), res.TotalMessages())
+	}
+	wantPairs := len(test) * len(train)
+	pairs := 0
+	for _, ps := range res.Procs {
+		pairs += ps.InnerProducts
+	}
+	if pairs != wantPairs {
+		t.Fatalf("cross-from-states computed %d inner products, want %d", pairs, wantPairs)
+	}
+}
+
+func TestComputeCrossStatesRejectsNil(t *testing.T) {
+	test := testData(t, 2, 6)
+	if _, err := ComputeCrossStates(testKernel(6), test, make([]*mps.MPS, 3), 2); err == nil {
+		t.Fatal("nil training state accepted")
+	}
+}
+
+// TestComputeCrossStatesRejectsWidthMismatch: handles from a different-width
+// ansatz must surface as an error (the simulate-everything path's
+// behaviour), never a panic in the overlap zipper.
+func TestComputeCrossStatesRejectsWidthMismatch(t *testing.T) {
+	train := testData(t, 4, 6)
+	gramRes, err := ComputeGram(testKernel(6), train, 2, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := testKernel(5)
+	if _, err := ComputeCrossStates(narrow, testData(t, 2, 5), gramRes.States, 2); err == nil {
+		t.Fatal("6-qubit training states accepted by a 5-qubit ansatz")
+	}
+}
+
+// TestCachedRaceStress runs both strategies concurrently against one shared
+// cache — the -race check for the cache-threaded simulation paths.
+func TestCachedRaceStress(t *testing.T) {
+	X := testData(t, 8, 5)
+	q := cachedTestKernel(5)
+	done := make(chan error, 2)
+	go func() {
+		_, err := ComputeGram(q, X, 3, RoundRobin)
+		done <- err
+	}()
+	go func() {
+		_, err := ComputeGram(q, X, 2, NoMessaging)
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

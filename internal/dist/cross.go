@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -10,9 +9,11 @@ import (
 )
 
 // runCrossRoundRobin computes the rectangular test×train kernel: test rows
-// and train states are both sharded round-robin; each process simulates its
-// two shards, the train shards are exchanged around the ring, and each
-// process fills the complete Gram rows of its test shard.
+// and train states are both sharded round-robin; each process materialises
+// its two shards (simulating on cache misses — after a ComputeGram on the
+// same rows the whole train shard is a cache hit), the train shards are
+// exchanged around the ring, and each process fills the complete Gram rows
+// of its test shard.
 func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, stats []ProcStats) error {
 	k := len(stats)
 	inboxes := make([]chan shard, k)
@@ -42,31 +43,35 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	ownedTrain := ownedIndices(len(trainX), k, p)
 	pl := procPool(q, k)
 
-	// Phase 1: simulate both local shards (test rows first, then train
-	// columns) behind the same barrier discipline as the training path.
-	testStates := make([]*mps.MPS, len(ownedTest))
+	// Phase 1: materialise both local shards (test rows, then train
+	// columns) in a single pool pass — one shard alone may be smaller than
+	// the worker count — behind the same barrier discipline as the
+	// training path.
+	nt := len(ownedTest)
+	testStates := make([]*mps.MPS, nt)
 	trainStates := make([]*mps.MPS, len(ownedTrain))
+	hits := make([]bool, nt+len(ownedTrain))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = pl.runErr(len(ownedTest)+len(ownedTrain), func(a int) error {
-			if a < len(ownedTest) {
-				s, err := q.State(testX[ownedTest[a]])
+		simErr = pl.runErr(nt+len(ownedTrain), func(a int) error {
+			if a < nt {
+				s, hit, err := q.StateCached(testX[ownedTest[a]])
 				if err != nil {
-					return fmt.Errorf("dist: proc %d: test state %d: %w", p, ownedTest[a], err)
+					return simErrf(p, "test", ownedTest[a], err)
 				}
-				testStates[a] = s
+				testStates[a], hits[a] = s, hit
 				return nil
 			}
-			b := a - len(ownedTest)
-			s, err := q.State(trainX[ownedTrain[b]])
+			b := a - nt
+			s, hit, err := q.StateCached(trainX[ownedTrain[b]])
 			if err != nil {
-				return fmt.Errorf("dist: proc %d: train state %d: %w", p, ownedTrain[b], err)
+				return simErrf(p, "train", ownedTrain[b], err)
 			}
-			trainStates[b] = s
+			trainStates[b], hits[a] = s, hit
 			return nil
 		})
 	})
-	st.StatesSimulated = len(ownedTest) + len(ownedTrain)
+	tallyHits(st, hits)
 	if simErr != nil {
 		failed.Store(true)
 	}
@@ -98,10 +103,10 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	// Phase 3a: local test rows × local train columns.
 	counts := make([]int, len(ownedTest))
 	st.InnerTime += timed(func() {
-		pl.run(len(ownedTest), func(a int) {
+		pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
 			i := ownedTest[a]
 			for b, j := range ownedTrain {
-				gram[i][j] = mps.Overlap(testStates[a], trainStates[b])
+				gram[i][j] = ws.Overlap(testStates[a], trainStates[b])
 				counts[a]++
 			}
 		})
@@ -120,15 +125,69 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 			return commErr
 		}
 		st.InnerTime += timed(func() {
-			pl.run(len(ownedTest), func(a int) {
+			pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
 				i := ownedTest[a]
 				for b, j := range in.indices {
-					gram[i][j] = mps.Overlap(testStates[a], remote[b])
+					gram[i][j] = ws.Overlap(testStates[a], remote[b])
 					counts[a]++
 				}
 			})
 		})
 	}
+	for _, c := range counts {
+		st.InnerProducts += c
+	}
+	return nil
+}
+
+// runCrossLocal computes the rectangular test×train kernel against training
+// states that are already resident on every process (a model's retained
+// handles): each process simulates only its test shard and fills its rows
+// against the full training set directly — no barrier, no ring exchange, no
+// simulated communication volume.
+func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, stats []ProcStats) error {
+	k := len(stats)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k)
+		}(p)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int) error {
+	p := st.Rank
+	ownedTest := ownedIndices(len(testX), k, p)
+	if len(ownedTest) == 0 {
+		return nil
+	}
+	pl := procPool(q, k)
+
+	testStates := make([]*mps.MPS, len(ownedTest))
+	var simErr error
+	st.SimTime = timed(func() {
+		simErr = simulateOwned(q, testX, ownedTest, testStates, pl, st, "test")
+	})
+	if simErr != nil {
+		return simErr
+	}
+
+	counts := make([]int, len(ownedTest))
+	st.InnerTime = timed(func() {
+		pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
+			i := ownedTest[a]
+			row := gram[i]
+			for j, tr := range trainStates {
+				row[j] = ws.Overlap(testStates[a], tr)
+				counts[a]++
+			}
+		})
+	})
 	for _, c := range counts {
 		st.InnerProducts += c
 	}

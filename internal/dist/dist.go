@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/mps"
 )
 
 // Strategy selects how Gram-matrix work is split across the simulated
@@ -71,9 +72,14 @@ func ParseStrategy(name string) (Strategy, error) {
 type ProcStats struct {
 	// Rank is the process index in [0, procs).
 	Rank int
-	// StatesSimulated counts feature-map circuit simulations executed by
-	// this process (including redundant ones under NoMessaging).
+	// StatesSimulated counts feature-map circuit simulations actually
+	// executed by this process (including redundant ones under NoMessaging
+	// when no state cache is configured).
 	StatesSimulated int
+	// CacheHits counts states this process obtained from the shared state
+	// cache (resident entries or joins on a peer's in-flight simulation)
+	// instead of simulating. Zero when kernel.Quantum.Cache is nil.
+	CacheHits int
 	// InnerProducts counts kernel entries (pairwise overlaps) computed by
 	// this process.
 	InnerProducts int
@@ -100,6 +106,11 @@ type Result struct {
 	Wall time.Duration
 	// Procs has one entry per simulated process, indexed by rank.
 	Procs []ProcStats
+	// States holds the simulated training states indexed like the input
+	// rows — the handles a model retains so inference never re-simulates
+	// the training set. Populated by ComputeGram (each process contributes
+	// its owned shard); nil for ComputeCross results.
+	States []*mps.MPS
 }
 
 // MaxPhaseTimes returns, per phase, the maximum wall-clock over processes —
@@ -138,6 +149,25 @@ func (r *Result) TotalMessages() int {
 	return m
 }
 
+// TotalCacheHits sums the state-cache hits over all processes.
+func (r *Result) TotalCacheHits() int {
+	h := 0
+	for _, p := range r.Procs {
+		h += p.CacheHits
+	}
+	return h
+}
+
+// TotalStatesSimulated sums the simulations actually executed over all
+// processes — with a warm cache this is the work the cache did NOT save.
+func (r *Result) TotalStatesSimulated() int {
+	s := 0
+	for _, p := range r.Procs {
+		s += p.StatesSimulated
+	}
+	return s
+}
+
 // ComputeGram computes the symmetric training Gram matrix K_ij = |⟨ψ_i,ψ_j⟩|²
 // for X on procs simulated processes under the given strategy. The result
 // agrees with the serial kernel.Gram path entry for entry.
@@ -149,12 +179,15 @@ func ComputeGram(q *kernel.Quantum, X [][]float64, procs int, strategy Strategy)
 	n := len(X)
 	gram := square(n)
 	stats := newStats(procs)
+	// retain collects each process's owned shard so the caller can keep the
+	// training-state handles (Result.States); ranks write disjoint indices.
+	retain := make([]*mps.MPS, n)
 	var err error
 	switch strategy {
 	case RoundRobin:
-		err = runGramRoundRobin(q, X, gram, stats)
+		err = runGramRoundRobin(q, X, gram, retain, stats)
 	case NoMessaging:
-		err = runGramNoMessaging(q, X, gram, stats)
+		err = runGramNoMessaging(q, X, gram, retain, stats)
 	default:
 		return nil, fmt.Errorf("dist: unknown strategy %v", strategy)
 	}
@@ -162,7 +195,7 @@ func ComputeGram(q *kernel.Quantum, X [][]float64, procs int, strategy Strategy)
 		return nil, err
 	}
 	mirror(gram)
-	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
+	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats, States: retain}, nil
 }
 
 // ComputeCross computes the rectangular inference kernel between test rows
@@ -180,6 +213,36 @@ func ComputeCross(q *kernel.Quantum, testX, trainX [][]float64, procs int) (*Res
 	gram := rect(len(testX), len(trainX))
 	stats := newStats(procs)
 	if err := runCrossRoundRobin(q, testX, trainX, gram, stats); err != nil {
+		return nil, err
+	}
+	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
+}
+
+// ComputeCrossStates computes the inference kernel against pre-simulated
+// training states — the handles a trained model retained from its
+// ComputeGram result. Only the test rows are simulated (consulting the
+// state cache when one is configured); the training side is already
+// resident on every process, so the exchange phase disappears entirely and
+// the computation is communication-free.
+func ComputeCrossStates(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, procs int) (*Result, error) {
+	if err := validate(q, procs); err != nil {
+		return nil, err
+	}
+	for i, st := range trainStates {
+		if st == nil {
+			return nil, fmt.Errorf("dist: nil training state %d", i)
+		}
+		// The simulate-everything path surfaces a width mismatch as a
+		// graceful circuit-build error; retained handles must too, not a
+		// panic inside the overlap zipper.
+		if st.N != q.Ansatz.Qubits {
+			return nil, fmt.Errorf("dist: training state %d has %d qubits, ansatz has %d", i, st.N, q.Ansatz.Qubits)
+		}
+	}
+	start := time.Now()
+	gram := rect(len(testX), len(trainStates))
+	stats := newStats(procs)
+	if err := runCrossLocal(q, testX, trainStates, gram, stats); err != nil {
 		return nil, err
 	}
 	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
@@ -232,6 +295,15 @@ func mirror(gram [][]float64) {
 			gram[j][i] = gram[i][j]
 		}
 	}
+}
+
+// simErrf formats a simulation failure; label names the shard ("test",
+// "train") or is empty for training-Gram shards.
+func simErrf(rank int, label string, index int, err error) error {
+	if label != "" {
+		return fmt.Errorf("dist: proc %d: %s state %d: %w", rank, label, index, err)
+	}
+	return fmt.Errorf("dist: proc %d: state %d: %w", rank, index, err)
 }
 
 func firstError(errs []error) error {

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/kernel"
@@ -9,10 +8,13 @@ import (
 )
 
 // runGramNoMessaging executes the no-messaging strategy: Gram rows are
-// sharded round-robin and every process independently simulates each state
-// its rows touch. No synchronisation or messaging is needed — the processes
-// never exchange anything.
-func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, stats []ProcStats) error {
+// sharded round-robin and every process independently materialises each
+// state its rows touch. No synchronisation or messaging is needed — the
+// processes never exchange anything. Without a state cache the overlap
+// ranges are simulated redundantly (the compute the strategy pays for its
+// silence); with a shared cache the in-flight deduplication collapses the
+// redundancy to one simulation per state cluster-wide.
+func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats) error {
 	k := len(stats)
 	errs := make([]error, k)
 	var wg sync.WaitGroup
@@ -20,14 +22,14 @@ func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, stat
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcNM(q, X, gram, &stats[p], k)
+			errs[p] = gramProcNM(q, X, gram, retain, &stats[p], k)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStats, k int) error {
+func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, k int) error {
 	n := len(X)
 	p := st.Rank
 	owned := ownedIndices(n, k, p)
@@ -36,35 +38,36 @@ func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStat
 	}
 	pl := procPool(q, k)
 
-	// Phase 1: redundant simulation. Row i needs every column j ≥ i, so the
-	// process must simulate every state from its first owned row onward —
-	// the compute the strategy pays for its zero communication.
+	// Phase 1: materialise every state from the first owned row onward —
+	// row i needs every column j ≥ i.
 	lo := owned[0]
-	states := make([]*mps.MPS, n) // indexed globally; [0, lo) stays nil
+	needed := make([]int, 0, n-lo)
+	for i := lo; i < n; i++ {
+		needed = append(needed, i)
+	}
+	local := make([]*mps.MPS, len(needed))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = pl.runErr(n-lo, func(a int) error {
-			i := lo + a
-			s, err := q.State(X[i])
-			if err != nil {
-				return fmt.Errorf("dist: proc %d: state %d: %w", p, i, err)
-			}
-			states[i] = s
-			return nil
-		})
+		simErr = simulateOwned(q, X, needed, local, pl, st, "")
 	})
-	st.StatesSimulated = n - lo
 	if simErr != nil {
 		return simErr
+	}
+	states := make([]*mps.MPS, n) // indexed globally; [0, lo) stays nil
+	for a, i := range needed {
+		states[i] = local[a]
+	}
+	for _, i := range owned {
+		retain[i] = states[i]
 	}
 
 	// Phase 2: the upper triangle of the owned rows, diagonal included.
 	counts := make([]int, len(owned))
 	st.InnerTime = timed(func() {
-		pl.run(len(owned), func(a int) {
+		pl.runWS(len(owned), func(ws *mps.Workspace, a int) {
 			i := owned[a]
 			for j := i; j < n; j++ {
-				gram[i][j] = mps.Overlap(states[i], states[j])
+				gram[i][j] = ws.Overlap(states[i], states[j])
 				counts[a]++
 			}
 		})

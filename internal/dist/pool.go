@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/kernel"
+	"repro/internal/mps"
 )
 
 // pool runs one simulated process's intra-process work (state simulations,
@@ -13,6 +14,11 @@ import (
 // cores available inside one node of the cluster.
 type pool struct {
 	workers int
+	// ws holds one overlap workspace per worker slot, created lazily and
+	// reused across every runWS call of the process's lifetime (a
+	// round-robin Gram makes one call per ring step; re-warming buffers
+	// each step would forfeit the zero-realloc property).
+	ws []*mps.Workspace
 }
 
 // procPool sizes a process's worker pool: the k simulated processes share
@@ -28,12 +34,33 @@ func procPool(q *kernel.Quantum, k int) pool {
 	if w < 1 {
 		w = 1
 	}
-	return pool{workers: w}
+	return pool{workers: w, ws: make([]*mps.Workspace, w)}
+}
+
+// workspace returns worker slot g's reusable workspace. runWS calls never
+// overlap in time for one pool and each slot is touched by one goroutine
+// per call, so lazy creation is race-free.
+func (pl pool) workspace(g int) *mps.Workspace {
+	if pl.ws == nil {
+		return mps.NewWorkspace()
+	}
+	if pl.ws[g] == nil {
+		pl.ws[g] = mps.NewWorkspace()
+	}
+	return pl.ws[g]
 }
 
 // run invokes f(i) for every i in [0,n), spreading the calls over the pool's
 // workers. It returns once all calls have completed.
 func (pl pool) run(n int, f func(i int)) {
+	pl.runWS(n, func(_ *mps.Workspace, i int) { f(i) })
+}
+
+// runWS is run with a private overlap workspace per worker goroutine, so
+// overlap batches reuse transfer-matrix buffers instead of allocating per
+// pair. Workspaces are created lazily-cheap (buffers grow on first use), so
+// run simply delegates here for non-overlap work.
+func (pl pool) runWS(n int, f func(ws *mps.Workspace, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -42,8 +69,9 @@ func (pl pool) run(n int, f func(i int)) {
 		w = n
 	}
 	if w <= 1 {
+		ws := pl.workspace(0)
 		for i := 0; i < n; i++ {
-			f(i)
+			f(ws, i)
 		}
 		return
 	}
@@ -52,16 +80,17 @@ func (pl pool) run(n int, f func(i int)) {
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
+			ws := pl.workspace(g)
 			for {
 				i := next.Add(1)
 				if i >= int64(n) {
 					return
 				}
-				f(int(i))
+				f(ws, int(i))
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }
@@ -74,4 +103,34 @@ func (pl pool) runErr(n int, f func(i int) error) error {
 		errs[i] = f(i)
 	})
 	return firstError(errs)
+}
+
+// simulateOwned materialises the states for the owned global indices of X
+// through the cache-aware kernel path, writing them into dst (parallel to
+// owned) and recording per-process simulation/hit counts into st. Returns
+// the first error by owned position; label names the shard in errors.
+func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string) error {
+	hits := make([]bool, len(owned))
+	err := pl.runErr(len(owned), func(a int) error {
+		s, hit, err := q.StateCached(X[owned[a]])
+		if err != nil {
+			return simErrf(st.Rank, label, owned[a], err)
+		}
+		dst[a], hits[a] = s, hit
+		return nil
+	})
+	tallyHits(st, hits)
+	return err
+}
+
+// tallyHits folds a per-state hit/miss bitmap into the process counters:
+// hits came from the shared cache, misses were simulated locally.
+func tallyHits(st *ProcStats, hits []bool) {
+	for _, h := range hits {
+		if h {
+			st.CacheHits++
+		} else {
+			st.StatesSimulated++
+		}
+	}
 }

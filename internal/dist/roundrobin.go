@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -12,7 +11,7 @@ import (
 // runGramRoundRobin executes the round-robin strategy: one goroutine per
 // simulated process, a simulation barrier, then the ring exchange of
 // serialised shards interleaved with the overlap computation.
-func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, stats []ProcStats) error {
+func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats) error {
 	k := len(stats)
 	inboxes := make([]chan shard, k)
 	for p := range inboxes {
@@ -29,35 +28,28 @@ func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, stats
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcRR(q, X, gram, &stats[p], inboxes, &simBarrier, &failed)
+			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], inboxes, &simBarrier, &failed)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
+func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
 	k := len(inboxes)
 	p := st.Rank
 	owned := ownedIndices(len(X), k, p)
 	pl := procPool(q, k)
 
-	// Phase 1: simulate the local shard, then synchronise — the exchange
-	// must not start while any process can still fail simulation and leave
-	// its peers waiting on a shard that never arrives.
+	// Phase 1: materialise the local shard (simulating on cache misses),
+	// then synchronise — the exchange must not start while any process can
+	// still fail simulation and leave its peers waiting on a shard that
+	// never arrives.
 	states := make([]*mps.MPS, len(owned))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = pl.runErr(len(owned), func(a int) error {
-			s, err := q.State(X[owned[a]])
-			if err != nil {
-				return fmt.Errorf("dist: proc %d: state %d: %w", p, owned[a], err)
-			}
-			states[a] = s
-			return nil
-		})
+		simErr = simulateOwned(q, X, owned, states, pl, st, "")
 	})
-	st.StatesSimulated = len(owned)
 	if simErr != nil {
 		failed.Store(true)
 	}
@@ -68,6 +60,9 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStat
 	}
 	if failed.Load() {
 		return nil // a peer failed simulation; it reports the error
+	}
+	for a, i := range owned {
+		retain[i] = states[a]
 	}
 
 	// Phase 2: serialise the local shard once and send a copy to every
@@ -91,9 +86,9 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStat
 	// including the diagonal, oriented (i first) exactly as the serial path.
 	counts := make([]int, len(owned))
 	st.InnerTime += timed(func() {
-		pl.run(len(owned), func(a int) {
+		pl.runWS(len(owned), func(ws *mps.Workspace, a int) {
 			for b := a; b < len(owned); b++ {
-				gram[owned[a]][owned[b]] = mps.Overlap(states[a], states[b])
+				gram[owned[a]][owned[b]] = ws.Overlap(states[a], states[b])
 				counts[a]++
 			}
 		})
@@ -116,11 +111,11 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, st *ProcStat
 			return commErr
 		}
 		st.InnerTime += timed(func() {
-			pl.run(len(owned), func(a int) {
+			pl.runWS(len(owned), func(ws *mps.Workspace, a int) {
 				i := owned[a]
 				for b, j := range in.indices {
 					if j > i {
-						gram[i][j] = mps.Overlap(states[a], remote[b])
+						gram[i][j] = ws.Overlap(states[a], remote[b])
 						counts[a]++
 					}
 				}

@@ -17,10 +17,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/dataset"
 	"repro/internal/mps"
+	"repro/internal/statecache"
 )
 
 // Quantum is a quantum kernel: a feature-map ansatz plus an MPS simulator
@@ -31,6 +33,14 @@ type Quantum struct {
 	// Workers bounds simulation/inner-product concurrency; ≤0 selects
 	// GOMAXPROCS.
 	Workers int
+	// Cache, when non-nil, memoises simulated states across State/States/
+	// Gram/Cross calls (and across the distributed strategies in
+	// internal/dist). Keys fingerprint the ansatz, the simulator
+	// configuration and the exact data row, so mutating Ansatz or Config
+	// naturally invalidates prior entries. States returned through the
+	// cache are shared — callers must treat them as read-only, which every
+	// consumer in this repository does (overlaps and serialisation only).
+	Cache *statecache.Cache
 }
 
 func (q *Quantum) workers() int {
@@ -40,9 +50,28 @@ func (q *Quantum) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// State simulates the feature-map circuit for one data point, returning its
-// MPS. The data point must already be rescaled into (0,2).
-func (q *Quantum) State(x []float64) (*mps.MPS, error) {
+// fingerprint encodes the full simulation context — everything besides the
+// data row that determines the simulated state — for cache keying. The
+// zero-value Config aliases (nil backend → serial, zero budget → default)
+// are normalised so equivalent configurations share entries.
+func (q *Quantum) fingerprint() string {
+	be := "serial"
+	if q.Config.Backend != nil {
+		be = q.Config.Backend.Name()
+	}
+	tb := q.Config.TruncationBudget
+	if tb == 0 {
+		tb = mps.DefaultTruncationBudget
+	}
+	a := q.Ansatz
+	return fmt.Sprintf("ansatz:%d/%d/%d/%x|cfg:%s/%x/%d/%t/%t/%t",
+		a.Qubits, a.Layers, a.Distance, math.Float64bits(a.Gamma),
+		be, math.Float64bits(tb), q.Config.MaxBond,
+		q.Config.Renormalize, q.Config.RecordMemory, q.Config.SkipCanonicalization)
+}
+
+// simulate runs the feature-map circuit for one data point unconditionally.
+func (q *Quantum) simulate(x []float64) (*mps.MPS, error) {
 	c, err := q.Ansatz.BuildRouted(x)
 	if err != nil {
 		return nil, err
@@ -54,23 +83,62 @@ func (q *Quantum) State(x []float64) (*mps.MPS, error) {
 	return st, nil
 }
 
-// States simulates every row of X concurrently — the linear-cost stage of
-// the framework.
+// State simulates the feature-map circuit for one data point, returning its
+// MPS (from the cache when one is configured and warm). The data point must
+// already be rescaled into (0,2).
+func (q *Quantum) State(x []float64) (*mps.MPS, error) {
+	st, _, err := q.StateCached(x)
+	return st, err
+}
+
+// StateCached is State with a hit report: hit is true when the simulation
+// was avoided, either because the state was resident in the cache or
+// because a concurrent caller was already simulating the same key (the
+// cache deduplicates in-flight work). With no cache configured it always
+// simulates and reports a miss.
+func (q *Quantum) StateCached(x []float64) (st *mps.MPS, hit bool, err error) {
+	if q.Cache == nil {
+		st, err = q.simulate(x)
+		return st, false, err
+	}
+	key := statecache.KeyFor(q.fingerprint(), x)
+	return q.Cache.GetOrCompute(key, func() (*mps.MPS, error) { return q.simulate(x) })
+}
+
+// States simulates every row of X on a bounded worker pool — the
+// linear-cost stage of the framework. Exactly min(workers, len(X))
+// goroutines are launched and claim rows through an atomic cursor, so a
+// 100k-row dataset costs 100k simulations but only a handful of goroutines.
 func (q *Quantum) States(X [][]float64) ([]*mps.MPS, error) {
 	states := make([]*mps.MPS, len(X))
 	errs := make([]error, len(X))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, q.workers())
-	for i := range X {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			states[i], errs[i] = q.State(X[i])
-		}(i)
+	w := q.workers()
+	if w > len(X) {
+		w = len(X)
 	}
-	wg.Wait()
+	if w <= 1 {
+		for i := range X {
+			states[i], _, errs[i] = q.StateCached(X[i])
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(X) {
+						return
+					}
+					states[i], _, errs[i] = q.StateCached(X[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("kernel: state %d: %w", i, err)
@@ -105,70 +173,93 @@ func (q *Quantum) Cross(Xtest, Xtrain [][]float64) ([][]float64, error) {
 	return CrossFromStates(ts, tr, q.workers()), nil
 }
 
+// overlapBand is the number of matrix rows claimed per scheduling step of
+// the overlap stage. Bands amortise scheduling to one atomic increment per
+// band (the old path paid a channel send per entry) while staying small
+// enough that dynamic claiming load-balances the triangle's uneven rows.
+const overlapBand = 8
+
+// forEachBand distributes the row range [0, rows) over workers goroutines in
+// bands of overlapBand rows, giving each worker a private overlap workspace
+// so the inner-product stage performs zero per-pair heap allocations.
+func forEachBand(rows, workers int, fill func(w *mps.Workspace, lo, hi int)) {
+	if rows <= 0 {
+		return
+	}
+	bands := (rows + overlapBand - 1) / overlapBand
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > bands {
+		workers = bands
+	}
+	if workers == 1 {
+		fill(mps.NewWorkspace(), 0, rows)
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := mps.NewWorkspace()
+			for {
+				band := int(next.Add(1))
+				if band >= bands {
+					return
+				}
+				lo := band * overlapBand
+				hi := lo + overlapBand
+				if hi > rows {
+					hi = rows
+				}
+				fill(w, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // GramFromStates fills the symmetric overlap matrix from simulated states.
-// Each entry is the paper's K_ij = |⟨ψ_i, ψ_j⟩|²; the N(N−1)/2 upper-triangle
-// entries are distributed over workers goroutines.
+// Each entry is the paper's K_ij = |⟨ψ_i, ψ_j⟩|²; the N(N+1)/2 upper-triangle
+// entries are computed in row bands distributed over workers goroutines and
+// mirrored into the lower triangle.
 func GramFromStates(states []*mps.MPS, workers int) [][]float64 {
 	n := len(states)
 	k := make([][]float64, n)
 	for i := range k {
 		k[i] = make([]float64, n)
 	}
-	type job struct{ i, j int }
-	jobs := make(chan job, 256)
-	var wg sync.WaitGroup
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				v := mps.Overlap(states[jb.i], states[jb.j])
-				k[jb.i][jb.j] = v
-				k[jb.j][jb.i] = v
+	forEachBand(n, workers, func(w *mps.Workspace, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := k[i]
+			for j := i; j < n; j++ {
+				v := w.Overlap(states[i], states[j])
+				row[j] = v
+				k[j][i] = v
 			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			jobs <- job{i, j}
 		}
-	}
-	close(jobs)
-	wg.Wait()
+	})
 	return k
 }
 
-// CrossFromStates fills the rectangular overlap matrix test×train.
+// CrossFromStates fills the rectangular overlap matrix test×train, row bands
+// over the test states.
 func CrossFromStates(test, train []*mps.MPS, workers int) [][]float64 {
 	k := make([][]float64, len(test))
 	for i := range k {
 		k[i] = make([]float64, len(train))
 	}
-	type job struct{ i, j int }
-	jobs := make(chan job, 256)
-	var wg sync.WaitGroup
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				k[jb.i][jb.j] = mps.Overlap(test[jb.i], train[jb.j])
+	forEachBand(len(test), workers, func(w *mps.Workspace, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := k[i]
+			for j := range train {
+				row[j] = w.Overlap(test[i], train[j])
 			}
-		}()
-	}
-	for i := range test {
-		for j := range train {
-			jobs <- job{i, j}
 		}
-	}
-	close(jobs)
-	wg.Wait()
+	})
 	return k
 }
 

@@ -95,6 +95,70 @@ func checkMulShapes(a, b *Matrix) {
 	}
 }
 
+// Reuse reshapes m to rows×cols with a zeroed payload, reallocating the
+// backing slice only when its capacity is insufficient. It is the grow-only
+// primitive behind the in-place kernels: a workspace matrix passed through
+// Reuse repeatedly settles at the largest size seen and then stops
+// allocating. Returns m.
+func (m *Matrix) Reuse(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %d×%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]complex128, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// MatMulInto computes dst = a·b on the calling goroutine, reusing dst's
+// backing storage via Reuse. dst must not alias a or b. Returns dst.
+//
+// The accumulation order is identical to MatMulSerial, so results are
+// bit-for-bit equal to the allocating path.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
+	checkMulShapes(a, b)
+	dst.Reuse(a.Rows, b.Cols)
+	mulRows(a, b, dst, 0, a.Rows)
+	return dst
+}
+
+// MatMulAdjAInto computes dst = aᴴ·b without materialising the adjoint,
+// reusing dst's backing storage. a is (k×m), b is (k×n), dst becomes (m×n).
+// dst must not alias a or b. Returns dst.
+//
+// The kernel walks a and b row by row and accumulates rank-1 updates into
+// dst, so for every dst entry the sum over the contraction index runs in
+// ascending order — bit-for-bit equal to MatMulSerial(a.ConjTranspose(), b).
+func MatMulAdjAInto(dst, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMulAdjA contraction mismatch %d×%d ᴴ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m, n := a.Cols, b.Cols
+	dst.Reuse(m, n)
+	for p := 0; p < a.Rows; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			cv := complex(real(av), -imag(av))
+			if cv == 0 {
+				continue
+			}
+			crow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += cv * bv
+			}
+		}
+	}
+	return dst
+}
+
 // MatVec returns a·x for a column vector x (len == a.Cols).
 func MatVec(a *Matrix, x []complex128) []complex128 {
 	if len(x) != a.Cols {

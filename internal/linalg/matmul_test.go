@@ -118,6 +118,70 @@ func absDiff(a, b float64) float64 {
 	return b - a
 }
 
+// Property: the in-place kernels match their allocating counterparts exactly
+// (the accumulation order is identical, so even bitwise equality holds).
+func TestPropertyInPlaceKernelsMatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k, m, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := Random(rng, m, k), Random(rng, k, n)
+		var dst Matrix
+		if !MatMulInto(&dst, a, b).EqualApprox(MatMulSerial(a, b), 0) {
+			return false
+		}
+		at, bt := Random(rng, k, m), Random(rng, k, n)
+		var adj Matrix
+		return MatMulAdjAInto(&adj, at, bt).EqualApprox(MatMulSerial(at.ConjTranspose(), bt), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReuseGrowOnly: a workspace matrix reallocates only when it grows, and
+// Reuse always hands back a zeroed payload.
+func TestReuseGrowOnly(t *testing.T) {
+	var m Matrix
+	m.Reuse(4, 4)
+	for i := range m.Data {
+		m.Data[i] = 7
+	}
+	backing := &m.Data[0]
+	m.Reuse(2, 3)
+	if &m.Data[0] != backing {
+		t.Fatal("shrinking Reuse reallocated")
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %d×%d after Reuse(2,3)", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("entry %d not zeroed: %v", i, v)
+		}
+	}
+	m.Reuse(8, 8)
+	if len(m.Data) != 64 {
+		t.Fatalf("grown Reuse has %d entries, want 64", len(m.Data))
+	}
+}
+
+// TestInPlaceKernelsNoAlloc: once warmed to the largest shape, the in-place
+// kernels perform zero heap allocations per call.
+func TestInPlaceKernelsNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := Random(rng, 12, 8), Random(rng, 8, 10)
+	at := Random(rng, 8, 12)
+	var dst, adj Matrix
+	MatMulInto(&dst, a, b)
+	MatMulAdjAInto(&adj, at, b)
+	if n := testing.AllocsPerRun(20, func() {
+		MatMulInto(&dst, a, b)
+		MatMulAdjAInto(&adj, at, b)
+	}); n != 0 {
+		t.Fatalf("warmed in-place kernels allocate %.1f times per run", n)
+	}
+}
+
 func BenchmarkMatMulSerial64(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x, y := Random(rng, 64, 64), Random(rng, 64, 64)

@@ -1,0 +1,90 @@
+package mps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/circuit"
+)
+
+// TestWorkspaceInnerMatchesInner: the workspace path and the allocating path
+// contract identically, so results agree exactly across a spread of bond
+// dimensions (χ grows with interaction distance).
+func TestWorkspaceInnerMatchesInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := NewWorkspace()
+	for _, d := range []int{1, 2, 3} {
+		a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: d, Gamma: 0.7}
+		m1 := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+		m2 := buildAnsatzMPS(t, a, randomData(rng, 8), Config{})
+		for _, pair := range [][2]*MPS{{m1, m2}, {m2, m1}, {m1, m1}} {
+			want := Inner(pair[0], pair[1])
+			if got := w.Inner(pair[0], pair[1]); got != want {
+				t.Fatalf("d=%d: workspace inner %v differs from %v", d, got, want)
+			}
+			wantO := Overlap(pair[0], pair[1])
+			if gotO := w.Overlap(pair[0], pair[1]); gotO != wantO {
+				t.Fatalf("d=%d: workspace overlap %v differs from %v", d, gotO, wantO)
+			}
+		}
+	}
+}
+
+// TestWorkspaceReusedAcrossShapes: a single workspace serves states of
+// different qubit counts and bond dimensions back to back (buffers reshape
+// per call), still agreeing with the allocating path.
+func TestWorkspaceReusedAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	w := NewWorkspace()
+	for _, q := range []int{4, 10, 6} {
+		a := circuit.Ansatz{Qubits: q, Layers: 2, Distance: min(2, q-1), Gamma: 0.5}
+		m1 := buildAnsatzMPS(t, a, randomData(rng, q), Config{})
+		m2 := buildAnsatzMPS(t, a, randomData(rng, q), Config{})
+		if got, want := w.Inner(m1, m2), Inner(m1, m2); got != want {
+			t.Fatalf("qubits=%d: workspace inner %v differs from %v", q, got, want)
+		}
+	}
+}
+
+// TestWorkspaceHonoursParallelBackend: states simulated with the
+// accelerator-role backend keep using it for overlaps (the Fig. 5 crossover
+// choice survives the workspace fast path).
+func TestWorkspaceHonoursParallelBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 2, Gamma: 0.6}
+	cfg := Config{Backend: backend.NewParallel(2)}
+	m1 := buildAnsatzMPS(t, a, randomData(rng, 8), cfg)
+	m2 := buildAnsatzMPS(t, a, randomData(rng, 8), cfg)
+	before := m1.Backend().Stats().Snapshot().MatMulOps
+	if got, want := NewWorkspace().Inner(m1, m2), Inner(m1, m2); got != want {
+		t.Fatalf("workspace inner %v differs from %v under parallel backend", got, want)
+	}
+	if after := m1.Backend().Stats().Snapshot().MatMulOps; after == before {
+		t.Fatal("workspace bypassed the configured parallel backend")
+	}
+}
+
+func TestWorkspaceMismatchedWidthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched qubit counts")
+		}
+	}()
+	NewWorkspace().Inner(NewZeroState(3, Config{}), NewZeroState(4, Config{}))
+}
+
+// TestWorkspaceZeroAllocs: once warmed, the workspace computes inner
+// products without touching the heap — the zero-realloc property the O(N²)
+// overlap stage relies on.
+func TestWorkspaceZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := circuit.Ansatz{Qubits: 10, Layers: 2, Distance: 3, Gamma: 0.8}
+	m1 := buildAnsatzMPS(t, a, randomData(rng, 10), Config{})
+	m2 := buildAnsatzMPS(t, a, randomData(rng, 10), Config{})
+	w := NewWorkspace()
+	w.Overlap(m1, m2) // warm the buffers
+	if n := testing.AllocsPerRun(50, func() { w.Overlap(m1, m2) }); n != 0 {
+		t.Fatalf("warmed workspace allocates %.1f times per overlap", n)
+	}
+}
