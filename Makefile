@@ -3,9 +3,10 @@ DATE    := $(shell date +%Y-%m-%d)
 BENCH_OUT := BENCH_$(DATE).json
 
 # The 1-iteration smoke subset: the distributed-Gram benchmarks this repo's
-# perf trajectory tracks, plus one simulator bench, one solver bench and the
-# cache/overlap-engine benches added with the state cache.
-SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain|BenchmarkFitPredictRoundTrip|BenchmarkGramFromStates
+# perf trajectory tracks, plus one simulator bench, one solver bench, the
+# cache/overlap-engine benches added with the state cache, and the
+# micro-batched serving path (ns/op per coalesced row).
+SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain|BenchmarkFitPredictRoundTrip|BenchmarkGramFromStates|BenchmarkServeBatch
 
 # The committed perf baseline: the newest BENCH_<date>.json tracked by git.
 # bench-check reads the blob from HEAD (not the working tree), so a fresh
@@ -13,7 +14,7 @@ SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|B
 # cannot make the gate compare a run against itself.
 BASELINE := $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-check ci clean
+.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke ci clean
 
 all: build
 
@@ -52,10 +53,17 @@ bench-smoke:
 # under 1ms are reported but not gated — at smoke iteration counts their
 # noise exceeds any threshold worth enforcing.
 bench-check:
-	@test -n "$(BASELINE)" || { echo "bench-check: no committed BENCH_*.json baseline" >&2; exit 1; }
+	@test -n "$(BASELINE)" || { echo "bench-check: no committed BENCH_*.json baseline — run 'make bench-smoke' and commit the BENCH_<date>.json it writes" >&2; exit 1; }
+	@git cat-file -e HEAD:$(BASELINE) 2>/dev/null || { echo "bench-check: $(BASELINE) is tracked but not committed on HEAD — commit it before gating" >&2; exit 1; }
 	git show HEAD:$(BASELINE) > bench_baseline.json
 	$(GO) test -run '^$$' -bench '$(SMOKE_BENCHES)' -benchtime 3x -json . > bench_current.json
 	$(GO) run ./cmd/benchdiff -baseline bench_baseline.json -current bench_current.json -threshold 0.20
+
+# serve-smoke is the end-to-end serving check: train a tiny model, start
+# `qkernel serve` on a free port, POST one prediction and assert HTTP 200
+# with scores — the whole persistence + HTTP + batching stack in one shot.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	rm -f BENCH_*.json bench_current.json bench_baseline.json

@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/serve"
 	"repro/internal/svm"
 )
 
@@ -472,6 +473,61 @@ func BenchmarkSVMTrain(b *testing.B) {
 		if _, err := svm.Train(gram, y, 1.0, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Serving: micro-batched inference ---------------------------------------
+
+// BenchmarkServeBatch measures the serving path end to end — bounded queue →
+// coalescing window → one ComputeCrossStates per batch → scatter — under
+// concurrent single-row requests, so ns/op is the cost per coalesced row as
+// clients see it. The rows-per-cross metric reports how many rows each
+// underlying kernel computation amortised (higher = better coalescing).
+func BenchmarkServeBatch(b *testing.B) {
+	const n, nTest, features = 32, 16, 12
+	data := benchData(b, n+nTest, features)
+	trainX, testX := data[:n], data[n:]
+	y := make([]int, n)
+	for i := range y {
+		if i%2 == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	fw, err := core.New(core.Options{Features: features, Gamma: 0.5, C: 1, Procs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, _, err := fw.Fit(trainX, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := serve.New(fw, model, serve.Config{
+		MaxBatch: 64, MaxWait: 200 * time.Microsecond, QueueDepth: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			row := testX[i%len(testX)]
+			i++
+			if _, err := s.Do([][]float64{row}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	if st.CrossCalls > 0 {
+		b.ReportMetric(float64(st.Rows)/float64(st.CrossCalls), "rows-per-cross")
 	}
 }
 

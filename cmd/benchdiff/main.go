@@ -20,14 +20,21 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// baselineHint is appended to baseline-side failures: the usual cause is a
+// repo (or branch) that has never committed a bench baseline, and the fix is
+// actionable rather than a confusing parse error.
+const baselineHint = "no committed BENCH_*.json baseline on HEAD? Run `make bench-smoke` and commit the BENCH_<date>.json it writes, then re-run"
 
 // event is the subset of the test2json stream benchdiff consumes.
 type event struct {
@@ -102,31 +109,57 @@ func load(path string) (map[string]float64, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "committed baseline BENCH_<date>.json")
-	currentPath := flag.String("current", "", "freshly generated bench result file")
-	threshold := flag.Float64("threshold", 0.20, "fail when current/baseline − 1 exceeds this fraction")
-	match := flag.String("match", ".*", "only gate benchmarks whose name matches this regexp")
-	minNs := flag.Float64("min-ns", 1e6, "skip benchmarks whose baseline is below this many ns/op (too noisy at smoke iteration counts)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and arguments, returning the exit code
+// (0 ok, 1 regression, 2 usage/baseline problems) so the exit paths are
+// testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "committed baseline BENCH_<date>.json")
+	currentPath := fs.String("current", "", "freshly generated bench result file")
+	threshold := fs.Float64("threshold", 0.20, "fail when current/baseline − 1 exceeds this fraction")
+	match := fs.String("match", ".*", "only gate benchmarks whose name matches this regexp")
+	minNs := fs.Float64("min-ns", 1e6, "skip benchmarks whose baseline is below this many ns/op (too noisy at smoke iteration counts)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *baselinePath == "" || *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: -baseline and -current are required —", baselineHint)
+		return 2
 	}
 	re, err := regexp.Compile(*match)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff: bad -match:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: bad -match:", err)
+		return 2
+	}
+
+	// Distinguish "the baseline never existed" from a malformed file before
+	// parsing: a missing or empty baseline is the expected state of a repo
+	// that has not committed one yet, and deserves guidance, not a parse
+	// error.
+	if fi, err := os.Stat(*baselinePath); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: baseline %s does not exist — %s\n", *baselinePath, baselineHint)
+		return 2
+	} else if fi.Size() == 0 {
+		fmt.Fprintf(stderr, "benchdiff: baseline %s is empty — %s\n", *baselinePath, baselineHint)
+		return 2
 	}
 
 	baseline, err := load(*baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: %v — %s\n", err, baselineHint)
+		return 2
 	}
 	current, err := load(*currentPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
 	names := make([]string, 0, len(baseline))
@@ -141,14 +174,14 @@ func main() {
 		base := baseline[name]
 		cur, ok := current[name]
 		if !ok {
-			fmt.Printf("  ?  %-55s retired (absent from current run)\n", name)
+			fmt.Fprintf(stdout, "  ?  %-55s retired (absent from current run)\n", name)
 			continue
 		}
 		if !re.MatchString(name) {
 			continue
 		}
 		if base < *minNs {
-			fmt.Printf("  ~  %-55s %12.0f → %12.0f ns/op (below -min-ns, not gated)\n", name, base, cur)
+			fmt.Fprintf(stdout, "  ~  %-55s %12.0f → %12.0f ns/op (below -min-ns, not gated)\n", name, base, cur)
 			continue
 		}
 		compared++
@@ -158,22 +191,23 @@ func main() {
 			mark = "REG"
 			regressed++
 		}
-		fmt.Printf("  %s %-55s %12.0f → %12.0f ns/op  %+6.1f%%\n", mark, name, base, cur, 100*delta)
+		fmt.Fprintf(stdout, "  %s %-55s %12.0f → %12.0f ns/op  %+6.1f%%\n", mark, name, base, cur, 100*delta)
 	}
 	for name := range current {
 		if _, ok := baseline[name]; !ok {
-			fmt.Printf("  +  %-55s new bench (no baseline)\n", name)
+			fmt.Fprintf(stdout, "  +  %-55s new bench (no baseline)\n", name)
 		}
 	}
 
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks left to gate — check -match, or refresh the committed baseline if the tracked set was renamed")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: no benchmarks left to gate — check -match, or refresh the committed baseline if the tracked set was renamed")
+		return 2
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d gated benchmarks regressed >%.0f%% vs %s\n",
+		fmt.Fprintf(stderr, "benchdiff: %d of %d gated benchmarks regressed >%.0f%% vs %s\n",
 			regressed, compared, 100**threshold, *baselinePath)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("benchdiff: %d gated benchmarks within %.0f%% of %s\n", compared, 100**threshold, *baselinePath)
+	fmt.Fprintf(stdout, "benchdiff: %d gated benchmarks within %.0f%% of %s\n", compared, 100**threshold, *baselinePath)
+	return 0
 }

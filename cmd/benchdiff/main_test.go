@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchEvent fabricates one go-test JSON output event carrying a benchmark
+// result line.
+func benchEvent(name string, ns float64) string {
+	return fmt.Sprintf(`{"Action":"output","Test":"%s","Output":"%s-8   \t       3\t  %.0f ns/op\n"}`+"\n", name, name, ns)
+}
+
+func writeBench(t *testing.T, dir, name string, benches map[string]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	for b, ns := range benches {
+		sb.WriteString(benchEvent(b, ns))
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestMissingBaselineHasClearMessage(t *testing.T) {
+	dir := t.TempDir()
+	current := writeBench(t, dir, "current.json", map[string]float64{"BenchmarkFoo": 2e6})
+
+	code, _, stderr := runDiff(t, "-baseline", filepath.Join(dir, "BENCH_none.json"), "-current", current)
+	if code != 2 {
+		t.Fatalf("missing baseline exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "does not exist") || !strings.Contains(stderr, "bench-smoke") {
+		t.Fatalf("missing-baseline message not actionable: %q", stderr)
+	}
+}
+
+func TestEmptyBaselineHasClearMessage(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "BENCH_empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current := writeBench(t, dir, "current.json", map[string]float64{"BenchmarkFoo": 2e6})
+
+	code, _, stderr := runDiff(t, "-baseline", empty, "-current", current)
+	if code != 2 {
+		t.Fatalf("empty baseline exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "is empty") || !strings.Contains(stderr, "bench-smoke") {
+		t.Fatalf("empty-baseline message not actionable: %q", stderr)
+	}
+}
+
+func TestMissingFlagsHint(t *testing.T) {
+	code, _, stderr := runDiff(t)
+	if code != 2 || !strings.Contains(stderr, "-baseline and -current are required") {
+		t.Fatalf("flagless run: code %d, stderr %q", code, stderr)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runDiff(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-baseline") {
+		t.Fatalf("-h printed no usage: %q", stderr)
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBench(t, dir, "BENCH_base.json", map[string]float64{
+		"BenchmarkFast": 2e6, "BenchmarkSlow": 2e6,
+	})
+
+	// Within threshold → 0.
+	ok := writeBench(t, dir, "ok.json", map[string]float64{
+		"BenchmarkFast": 2.1e6, "BenchmarkSlow": 2.2e6,
+	})
+	if code, out, _ := runDiff(t, "-baseline", baseline, "-current", ok); code != 0 || !strings.Contains(out, "within") {
+		t.Fatalf("healthy run: code %d, out %q", code, out)
+	}
+
+	// One regression beyond 20% → 1.
+	reg := writeBench(t, dir, "reg.json", map[string]float64{
+		"BenchmarkFast": 2e6, "BenchmarkSlow": 3e6,
+	})
+	code, out, stderr := runDiff(t, "-baseline", baseline, "-current", reg)
+	if code != 1 {
+		t.Fatalf("regressed run exited %d, want 1", code)
+	}
+	if !strings.Contains(out, "REG") || !strings.Contains(stderr, "regressed") {
+		t.Fatalf("regression not reported: out %q stderr %q", out, stderr)
+	}
+}
+
+// TestNothingLeftToGate: an over-narrow -match must fail loudly (exit 2), not
+// pass an empty comparison.
+func TestNothingLeftToGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBench(t, dir, "BENCH_base.json", map[string]float64{"BenchmarkFoo": 2e6})
+	current := writeBench(t, dir, "current.json", map[string]float64{"BenchmarkFoo": 2e6})
+
+	code, _, stderr := runDiff(t, "-baseline", baseline, "-current", current, "-match", "NoSuchBench")
+	if code != 2 || !strings.Contains(stderr, "no benchmarks left to gate") {
+		t.Fatalf("empty gate: code %d, stderr %q", code, stderr)
+	}
+}

@@ -1,9 +1,15 @@
-// Command qkernel is the end-to-end tool: generate (or reuse) a dataset,
-// train the quantum-kernel SVM with a chosen ansatz and distribution
-// strategy, and report classification metrics — the full pipeline of the
-// paper in one invocation.
+// Command qkernel is the end-to-end tool around the quantum-kernel
+// framework. It has three modes:
 //
-// Usage:
+//	qkernel [flags]        — legacy one-shot run: generate (or load) a
+//	                         dataset, train with a chosen ansatz and
+//	                         distribution strategy, report metrics.
+//	qkernel train [flags]  — train through the core pipeline and persist the
+//	                         model (-out model.bin) for serving.
+//	qkernel serve [flags]  — load a persisted model and serve predictions
+//	                         over HTTP with micro-batched kernel rows.
+//
+// The one-shot mode keeps its original flags:
 //
 //	qkernel [-size 200] [-features 50] [-d 1] [-layers 2] [-gamma 0.5]
 //	        [-procs 4] [-strategy round-robin] [-baseline] [-cache-mb 256]
@@ -30,55 +36,104 @@ import (
 )
 
 func main() {
-	size := flag.Int("size", 200, "balanced sample size")
-	features := flag.Int("features", 50, "feature count (qubits)")
-	distance := flag.Int("d", 1, "interaction distance")
-	layers := flag.Int("layers", 2, "ansatz layers r")
-	gamma := flag.Float64("gamma", 0.5, "kernel bandwidth γ")
-	procs := flag.Int("procs", 4, "simulated distributed processes")
-	strategyName := flag.String("strategy", "round-robin", "round-robin | no-messaging")
-	baseline := flag.Bool("baseline", false, "also train the Gaussian-kernel baseline")
-	cacheMB := flag.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
-	seed := flag.Int64("seed", 1, "data seed")
-	dataPath := flag.String("data", "", "optional CSV dataset (otherwise synthetic)")
-	labelCol := flag.Int("label-col", 0, "label column index in the CSV")
-	header := flag.Bool("header", false, "CSV has a header row")
-	savePath := flag.String("save", "", "write the trained SVM model as JSON")
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "train":
+			os.Exit(runTrain(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		case "help":
+			// The one-shot flag set's Usage names the subcommands too (as do
+			// plain -h/--help, which fall through to it below).
+			os.Exit(runLegacy([]string{"-h"}))
+		}
+	}
+	os.Exit(runLegacy(os.Args[1:]))
+}
+
+// dataFlags bundles the dataset-selection flags shared by the one-shot run
+// and the train subcommand.
+type dataFlags struct {
+	size     int
+	features int
+	seed     int64
+	dataPath string
+	labelCol int
+	header   bool
+}
+
+func (d *dataFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&d.size, "size", 200, "balanced sample size")
+	fs.IntVar(&d.features, "features", 50, "feature count (qubits)")
+	fs.Int64Var(&d.seed, "seed", 1, "data seed")
+	fs.StringVar(&d.dataPath, "data", "", "optional CSV dataset (otherwise synthetic)")
+	fs.IntVar(&d.labelCol, "label-col", 0, "label column index in the CSV")
+	fs.BoolVar(&d.header, "header", false, "CSV has a header row")
+}
+
+// split materialises the configured dataset and performs the paper's
+// preprocessing split, narrating what it loaded.
+func (d *dataFlags) split() (train, test *dataset.Dataset, err error) {
+	var full *dataset.Dataset
+	if d.dataPath != "" {
+		full, err = dataset.LoadCSVFile(d.dataPath, d.labelCol, d.header)
+		if err != nil {
+			return nil, nil, err
+		}
+		if full.Features() < d.features {
+			return nil, nil, fmt.Errorf("CSV has %d features, requested %d", full.Features(), d.features)
+		}
+		fmt.Printf("dataset: %s — %d samples (%d illicit / %d licit), %d features\n",
+			d.dataPath, full.Len(), full.CountLabel(dataset.Illicit), full.CountLabel(dataset.Licit), full.Features())
+	} else {
+		fmt.Printf("dataset: synthetic Elliptic-shaped, %d samples balanced, %d features\n", d.size, d.features)
+		full = dataset.GenerateElliptic(dataset.EllipticConfig{Features: d.features, NumIllicit: d.size, NumLicit: d.size, Seed: d.seed})
+	}
+	train, test, err = dataset.PrepareSplit(full, d.size, d.features, d.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("split: %d train / %d test\n", train.Len(), test.Len())
+	return train, test, nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "qkernel:", err)
+	return 1
+}
+
+// runLegacy is the original one-shot pipeline: train, evaluate, report.
+func runLegacy(args []string) int {
+	fs := flag.NewFlagSet("qkernel", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	distance := fs.Int("d", 1, "interaction distance")
+	layers := fs.Int("layers", 2, "ansatz layers r")
+	gamma := fs.Float64("gamma", 0.5, "kernel bandwidth γ")
+	procs := fs.Int("procs", 4, "simulated distributed processes")
+	strategyName := fs.String("strategy", "round-robin", "round-robin | no-messaging")
+	baseline := fs.Bool("baseline", false, "also train the Gaussian-kernel baseline")
+	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
+	savePath := fs.String("save", "", "write the trained SVM model as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: qkernel [flags]        — one-shot run: train, evaluate, report (flags below)")
+		fmt.Fprintln(os.Stderr, "       qkernel train [flags]  — train and persist a model ('qkernel train -h')")
+		fmt.Fprintln(os.Stderr, "       qkernel serve [flags]  — serve a persisted model over HTTP ('qkernel serve -h')")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
 
 	strategy, err := dist.ParseStrategy(*strategyName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qkernel:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-
-	var full *dataset.Dataset
-	if *dataPath != "" {
-		var err error
-		full, err = dataset.LoadCSVFile(*dataPath, *labelCol, *header)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "qkernel:", err)
-			os.Exit(1)
-		}
-		if full.Features() < *features {
-			fmt.Fprintf(os.Stderr, "qkernel: CSV has %d features, requested %d\n", full.Features(), *features)
-			os.Exit(1)
-		}
-		fmt.Printf("dataset: %s — %d samples (%d illicit / %d licit), %d features\n",
-			*dataPath, full.Len(), full.CountLabel(dataset.Illicit), full.CountLabel(dataset.Licit), full.Features())
-	} else {
-		fmt.Printf("dataset: synthetic Elliptic-shaped, %d samples balanced, %d features\n", *size, *features)
-		full = dataset.GenerateElliptic(dataset.EllipticConfig{Features: *features, NumIllicit: *size, NumLicit: *size, Seed: *seed})
-	}
-	train, test, err := dataset.PrepareSplit(full, *size, *features, *seed)
+	train, test, err := df.split()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qkernel:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	fmt.Printf("split: %d train / %d test\n", train.Len(), test.Len())
 
 	q := &kernel.Quantum{
-		Ansatz: circuit.Ansatz{Qubits: *features, Layers: *layers, Distance: *distance, Gamma: *gamma},
+		Ansatz: circuit.Ansatz{Qubits: df.features, Layers: *layers, Distance: *distance, Gamma: *gamma},
 	}
 	if *cacheMB > 0 {
 		q.Cache = statecache.New(int64(*cacheMB) << 20)
@@ -89,8 +144,7 @@ func main() {
 	t0 := time.Now()
 	gramRes, err := dist.ComputeGram(q, train.X, *procs, strategy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qkernel: training kernel:", err)
-		os.Exit(1)
+		return fail(fmt.Errorf("training kernel: %w", err))
 	}
 	sim, inner, comm := gramRes.MaxPhaseTimes()
 	fmt.Printf("train Gram (%s, %d procs): wall %v (sim %v, inner %v, comm %v, %.1f MiB sent)\n",
@@ -102,8 +156,7 @@ func main() {
 	// communication-free: only the test rows are simulated.
 	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, *procs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qkernel: inference kernel:", err)
-		os.Exit(1)
+		return fail(fmt.Errorf("inference kernel: %w", err))
 	}
 	if q.Cache != nil {
 		s := q.Cache.Stats()
@@ -114,18 +167,15 @@ func main() {
 
 	model, met, bestC, err := svm.TrainBestC(gramRes.Gram, train.Y, crossRes.Gram, test.Y, nil, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qkernel: training svm:", err)
-		os.Exit(1)
+		return fail(fmt.Errorf("training svm: %w", err))
 	}
 	if *savePath != "" {
 		blob, err := json.MarshalIndent(model, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qkernel: encoding model:", err)
-			os.Exit(1)
+			return fail(fmt.Errorf("encoding model: %w", err))
 		}
 		if err := os.WriteFile(*savePath, blob, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "qkernel: saving model:", err)
-			os.Exit(1)
+			return fail(fmt.Errorf("saving model: %w", err))
 		}
 		fmt.Println("saved model to", *savePath)
 	}
@@ -137,10 +187,10 @@ func main() {
 		g := kernel.NewGaussianFromData(train)
 		_, gmet, gC, err := svm.TrainBestC(g.Gram(train.X), train.Y, g.Cross(test.X, train.X), test.Y, nil, 0)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qkernel: gaussian baseline:", err)
-			os.Exit(1)
+			return fail(fmt.Errorf("gaussian baseline: %w", err))
 		}
 		fmt.Printf("gaussian baseline (α=%.4f), best C=%.2f: AUC %.3f  recall %.3f  precision %.3f  accuracy %.3f\n",
 			g.Alpha, gC, gmet.AUC, gmet.Recall, gmet.Precision, gmet.Accuracy)
 	}
+	return 0
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// runServe is the `qkernel serve` subcommand: load a model persisted by
+// `qkernel train -out`, keep it resident, and answer POST /predict requests
+// with micro-batched kernel-row computation (see internal/serve). The
+// process logs its actual listen address on startup ("listening on ...") so
+// scripts can bind -addr to port 0 and scrape the chosen port.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("qkernel serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	modelPath := fs.String("model", "", "model file written by `qkernel train -out` (required)")
+	batch := fs.Int("batch", serve.DefaultMaxBatch, "max rows coalesced into one kernel computation")
+	batchWait := fs.Duration("batch-wait", serve.DefaultMaxWait, "max time the first queued row waits for a batch to fill")
+	queue := fs.Int("queue", serve.DefaultQueueDepth, "max queued requests before 429 backpressure")
+	cacheMB := fs.Int("cache-mb", -1, "override the model's state-cache budget in MiB (-1 keeps the saved setting, 0 disables)")
+	procs := fs.Int("procs", 0, "override the model's simulated process count (0 keeps the saved setting)")
+	_ = fs.Parse(args)
+	if *modelPath == "" {
+		return fail(fmt.Errorf("serve: -model is required"))
+	}
+
+	fw, model, err := core.LoadModelTuned(*modelPath, func(o *core.Options) {
+		if *procs > 0 {
+			o.Procs = *procs
+		}
+		switch {
+		case *cacheMB > 0:
+			o.CacheBytes = int64(*cacheMB) << 20
+		case *cacheMB == 0:
+			o.CacheBytes = -1
+		}
+	})
+	if err != nil {
+		return fail(err)
+	}
+	opts := fw.Options()
+	states := "re-simulating training rows on demand"
+	if model.States != nil {
+		states = fmt.Sprintf("%d training states resident", len(model.States))
+	}
+	fmt.Printf("qkernel serve: model %s — %d features, %d training rows, %s, %d procs\n",
+		*modelPath, opts.Features, len(model.TrainX), states, opts.Procs)
+
+	srv, err := serve.New(fw, model, serve.Config{
+		MaxBatch:   *batch,
+		MaxWait:    *batchWait,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("qkernel serve: listening on http://%s (batch %d, batch-wait %v, queue %d)\n",
+		ln.Addr(), *batch, *batchWait, *queue)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fail(err)
+	}
+	fmt.Println("qkernel serve: shut down")
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// runTrain is the `qkernel train` subcommand: fit through the core pipeline
+// (Gram → C selection → SVM) and persist the trained model — ansatz options,
+// SVM, training rows and the retained training states — with core's
+// versioned codec, ready for `qkernel serve`.
+func runTrain(args []string) int {
+	fs := flag.NewFlagSet("qkernel train", flag.ExitOnError)
+	var df dataFlags
+	df.register(fs)
+	distance := fs.Int("d", 1, "interaction distance")
+	layers := fs.Int("layers", 2, "ansatz layers r")
+	gamma := fs.Float64("gamma", 0.5, "kernel bandwidth γ")
+	procs := fs.Int("procs", 4, "simulated distributed processes")
+	strategyName := fs.String("strategy", "round-robin", "round-robin | no-messaging")
+	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
+	cFlag := fs.Float64("c", 0, "SVM box constraint (0 sweeps the paper's grid)")
+	out := fs.String("out", "", "write the trained model here (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		return fail(fmt.Errorf("train: -out is required"))
+	}
+
+	strategy, err := dist.ParseStrategy(*strategyName)
+	if err != nil {
+		return fail(err)
+	}
+	train, test, err := df.split()
+	if err != nil {
+		return fail(err)
+	}
+
+	cacheBytes := int64(-1)
+	if *cacheMB > 0 {
+		cacheBytes = int64(*cacheMB) << 20
+	}
+	fw, err := core.New(core.Options{
+		Features: df.features, Layers: *layers, Distance: *distance, Gamma: *gamma,
+		C: *cFlag, Procs: *procs, Strategy: strategy, CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	t0 := time.Now()
+	model, report, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("fit (%s, %d procs): wall %v (sim %v, inner %v, comm %v), best C=%.2f, train AUC %.3f, %d support vectors\n",
+		strategy, *procs, report.GramWall.Round(time.Millisecond),
+		report.SimWall.Round(time.Millisecond), report.InnerWall.Round(time.Millisecond),
+		report.CommWall.Round(time.Millisecond), report.BestC, report.TrainAUC, report.SupportVecs)
+
+	if test.Len() > 0 {
+		met, err := fw.Evaluate(model, test.X, test.Y)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("held-out: AUC %.3f  recall %.3f  precision %.3f  accuracy %.3f\n",
+			met.AUC, met.Recall, met.Precision, met.Accuracy)
+	}
+
+	if err := model.Save(*out); err != nil {
+		return fail(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return fail(err)
+	}
+	states := "no retained states (re-simulated at serve time)"
+	if model.States != nil {
+		states = fmt.Sprintf("%d retained training states", len(model.States))
+	}
+	fmt.Printf("saved %s (%.1f KiB, %s) in %v total\n",
+		*out, float64(fi.Size())/1024, states, time.Since(t0).Round(time.Millisecond))
+	return 0
+}

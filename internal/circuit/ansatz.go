@@ -79,6 +79,15 @@ func (a Ansatz) ScheduledEdges() [][][2]int {
 	return rounds
 }
 
+// EntanglingTheta returns the RXX rotation angle of interaction edge (i,j)
+// for data point x: θ_ij = γ²·(π/2)·(1−x_i)(1−x_j) scaled by the Trotter
+// factor 2 — the H_XX coefficient of equation (4). Shared by Build and by
+// the distribution layer's per-row cost estimate (dist.EstimateRowCost), so
+// the two can never drift apart.
+func (a Ansatz) EntanglingTheta(x []float64, i, j int) float64 {
+	return a.Gamma * a.Gamma * math.Pi * (1 - x[i]) * (1 - x[j])
+}
+
 // Build constructs the logical circuit for data point x (already rescaled to
 // the (0,2) interval; see internal/dataset). The result may contain
 // long-range RXX gates when Distance > 1; pass it through Route before MPS
@@ -113,8 +122,7 @@ func (a Ansatz) Build(x []float64) (*Circuit, error) {
 		for _, round := range rounds {
 			for _, e := range round {
 				i, j := e[0], e[1]
-				theta := a.Gamma * a.Gamma * math.Pi * (1 - x[i]) * (1 - x[j])
-				c.MustAppend(Gate{Name: "RXX", Qubits: []int{i, j}, Mat: gates.RXX(theta)})
+				c.MustAppend(Gate{Name: "RXX", Qubits: []int{i, j}, Mat: gates.RXX(a.EntanglingTheta(x, i, j))})
 			}
 		}
 	}

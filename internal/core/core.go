@@ -129,6 +129,11 @@ func (f *Framework) CacheStats() statecache.Stats {
 	return f.q.Cache.Stats()
 }
 
+// Options returns the (defaulted) options the framework was built with.
+func (f *Framework) Options() Options {
+	return f.opts
+}
+
 // Model bundles the trained SVM with the training inputs needed at
 // inference time.
 type Model struct {
@@ -143,6 +148,13 @@ type Model struct {
 	// then falls back to re-simulating the training rows through the state
 	// cache.
 	States []*mps.MPS
+
+	// opts and fingerprint capture the training context for persistence:
+	// Save embeds them so LoadModel can rebuild an equivalent Framework and
+	// verify the simulation context did not drift. Set by Fit; zero on a
+	// hand-assembled Model (which Save therefore rejects).
+	opts        Options
+	fingerprint string
 }
 
 // FitReport describes the training run.
@@ -207,7 +219,10 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 		}
 	}
 	report.SupportVecs = len(model.SupportVectors())
-	return &Model{SVM: model, TrainX: X, TrainY: y, States: f.retainStates(res.States)}, report, nil
+	return &Model{
+		SVM: model, TrainX: X, TrainY: y, States: f.retainStates(res.States),
+		opts: f.opts, fingerprint: f.q.Fingerprint(),
+	}, report, nil
 }
 
 // retainStates decides whether the model keeps its training-state handles.

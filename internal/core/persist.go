@@ -1,0 +1,255 @@
+// Model persistence: a versioned binary codec (fixed header + gob payload)
+// for trained models, so a model fitted once — the expensive, distributed
+// stage — can be loaded by a separate server process (internal/serve,
+// `qkernel serve`) and answer prediction requests online.
+//
+// The file captures everything inference needs: the framework options (the
+// ansatz hyperparameters and runtime knobs), the trained SVM (reusing the
+// validated JSON codec of internal/svm), the training rows and labels, and —
+// when the model retained them — the simulated training states themselves
+// (mps.MarshalBinary payloads), so a loaded model predicts communication-free
+// without re-simulating a single training row. The kernel's simulation-context
+// fingerprint is embedded and re-verified on load: any drift between the
+// saving and loading binaries' ansatz/simulator semantics (or an attempt to
+// tune sim-relevant options at load time) is rejected instead of silently
+// producing wrong kernels.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dist"
+	"repro/internal/mps"
+	"repro/internal/svm"
+)
+
+// modelMagic identifies serialised model files; modelVersion is bumped on any
+// incompatible layout change.
+const (
+	modelMagic   uint32 = 0x514b4d31 // "QKM1"
+	modelVersion uint32 = 1
+)
+
+// modelFile is the gob payload of a serialised model. All sim-relevant fields
+// are duplicated from Options explicitly (rather than gob-encoding Options
+// itself) so adding an Options field can never silently change the on-disk
+// layout.
+type modelFile struct {
+	Features, Layers, Distance int
+	Gamma, C                   float64
+	Procs                      int
+	Strategy                   string
+	UseParallelBackend         bool
+	CacheBytes                 int64
+
+	// Fingerprint is the kernel simulation-context fingerprint at save time.
+	Fingerprint string
+	// SVM is the trained solver in its validated JSON form.
+	SVM []byte
+	// TrainX / TrainY are the training rows (already rescaled into (0,2))
+	// and their ±1 labels.
+	TrainX [][]float64
+	TrainY []int
+	// States holds one mps.MarshalBinary payload per training row when the
+	// model retained its handles; empty when it did not (the loaded model
+	// then re-simulates training rows through the state cache on demand).
+	States [][]byte
+}
+
+// Save writes the model to path atomically (unique temp file in the target
+// directory + rename), so a server watching the path can never observe a
+// torn write — even with concurrent Save calls racing on the same path.
+func (m *Model) Save(path string) error {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return err
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// Keep the temp file on the destination's filesystem: os.CreateTemp
+		// with "" means os.TempDir(), and renaming from tmpfs would fail
+		// with a cross-device link error.
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// Encode serialises the model: an 8-byte header (magic, version) followed by
+// the gob payload. Only models produced by Fit (or a prior LoadModel) carry
+// the training context required to round-trip; hand-assembled models are
+// rejected.
+func (m *Model) Encode(w io.Writer) error {
+	if m == nil || m.SVM == nil {
+		return fmt.Errorf("core: cannot encode nil model")
+	}
+	if m.fingerprint == "" {
+		return fmt.Errorf("core: model has no training context (not produced by Fit/LoadModel)")
+	}
+	svmBlob, err := json.Marshal(m.SVM)
+	if err != nil {
+		return fmt.Errorf("core: encoding svm: %w", err)
+	}
+	mf := modelFile{
+		Features: m.opts.Features, Layers: m.opts.Layers, Distance: m.opts.Distance,
+		Gamma: m.opts.Gamma, C: m.opts.C, Procs: m.opts.Procs,
+		Strategy:           m.opts.Strategy.String(),
+		UseParallelBackend: m.opts.UseParallelBackend,
+		CacheBytes:         m.opts.CacheBytes,
+		Fingerprint:        m.fingerprint,
+		SVM:                svmBlob,
+		TrainX:             m.TrainX,
+		TrainY:             m.TrainY,
+	}
+	if m.States != nil {
+		mf.States = make([][]byte, len(m.States))
+		for i, st := range m.States {
+			blob, err := st.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("core: encoding training state %d: %w", i, err)
+			}
+			mf.States[i] = blob
+		}
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], modelMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], modelVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: writing model header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&mf); err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model saved by Save, rebuilding the framework it was
+// trained under. See DecodeModel for the integrity guarantees.
+func LoadModel(path string) (*Framework, *Model, error) {
+	return LoadModelTuned(path, nil)
+}
+
+// LoadModelTuned is LoadModel with a hook to adjust runtime options (Procs,
+// CacheBytes, C, Strategy) before the framework is rebuilt — the knobs a
+// serving process re-tunes for its own hardware. Changing any option that
+// affects the simulation itself (ansatz shape, γ, backend) is detected by the
+// fingerprint check and rejected: the stored states and SVM were trained
+// under the saved context and would be silently wrong under another.
+func LoadModelTuned(path string, tune func(*Options)) (*Framework, *Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	defer f.Close()
+	return DecodeModel(f, tune)
+}
+
+// DecodeModel reconstructs a framework/model pair from an Encode stream,
+// verifying the header, the simulation-context fingerprint, and the
+// structural consistency of the payload (rows ↔ labels ↔ SVM coefficients ↔
+// states). tune may be nil.
+func DecodeModel(r io.Reader, tune func(*Options)) (*Framework, *Model, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("core: truncated model header: %w", err)
+	}
+	if mg := binary.LittleEndian.Uint32(hdr[0:4]); mg != modelMagic {
+		return nil, nil, fmt.Errorf("core: not a model file (magic 0x%08x)", mg)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != modelVersion {
+		return nil, nil, fmt.Errorf("core: unsupported model version %d (this binary reads %d)", v, modelVersion)
+	}
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	strategy, err := dist.ParseStrategy(mf.Strategy)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	opts := Options{
+		Features: mf.Features, Layers: mf.Layers, Distance: mf.Distance,
+		Gamma: mf.Gamma, C: mf.C, Procs: mf.Procs, Strategy: strategy,
+		UseParallelBackend: mf.UseParallelBackend, CacheBytes: mf.CacheBytes,
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	fw, err := New(opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rebuilding framework: %w", err)
+	}
+	if fp := fw.q.Fingerprint(); fp != mf.Fingerprint {
+		return nil, nil, fmt.Errorf("core: simulation context mismatch: model saved under %q, loader built %q (codec drift, or tuning touched a sim-relevant option)", mf.Fingerprint, fp)
+	}
+
+	if len(mf.TrainX) == 0 || len(mf.TrainX) != len(mf.TrainY) {
+		return nil, nil, fmt.Errorf("core: model has %d training rows for %d labels", len(mf.TrainX), len(mf.TrainY))
+	}
+	for i, row := range mf.TrainX {
+		if len(row) != fw.opts.Features {
+			return nil, nil, fmt.Errorf("core: training row %d has %d features, model has %d", i, len(row), fw.opts.Features)
+		}
+	}
+	sv := new(svm.Model)
+	if err := json.Unmarshal(mf.SVM, sv); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if len(sv.Alpha) != len(mf.TrainY) {
+		return nil, nil, fmt.Errorf("core: svm has %d coefficients for %d training rows", len(sv.Alpha), len(mf.TrainY))
+	}
+	// Rehydrate the training states only within the loader's memory policy:
+	// a negative (tuned) budget is the documented memory-for-compute
+	// opt-out, and retainStates also drops a set whose payload alone would
+	// exceed a positive budget — the same rules Fit applies.
+	var states []*mps.MPS
+	if len(mf.States) > 0 && fw.cacheBudget >= 0 {
+		if len(mf.States) != len(mf.TrainX) {
+			return nil, nil, fmt.Errorf("core: model has %d states for %d training rows", len(mf.States), len(mf.TrainX))
+		}
+		states = make([]*mps.MPS, len(mf.States))
+		for i, blob := range mf.States {
+			st, err := mps.UnmarshalBinary(blob, fw.q.Config)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: decoding training state %d: %w", i, err)
+			}
+			if st.N != fw.opts.Features {
+				return nil, nil, fmt.Errorf("core: training state %d has %d qubits, model has %d", i, st.N, fw.opts.Features)
+			}
+			states[i] = st
+		}
+		states = fw.retainStates(states)
+	}
+	m := &Model{
+		SVM: sv, TrainX: mf.TrainX, TrainY: mf.TrainY, States: states,
+		opts: fw.opts, fingerprint: mf.Fingerprint,
+	}
+	return fw, m, nil
+}

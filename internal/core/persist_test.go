@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func fitSmallModel(t *testing.T, opts Options) (*Framework, *Model, [][]float64) {
+	t.Helper()
+	train, test := preparedData(t, opts.Features, 16)
+	fw, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, model, test.X
+}
+
+// TestSaveLoadPredictEquivalence is the persistence acceptance check: a model
+// saved to disk and loaded by a fresh framework must score new rows exactly
+// as the in-process model does — including the retained training states, so
+// the loaded model predicts without re-simulating a single training row.
+func TestSaveLoadPredictEquivalence(t *testing.T) {
+	fw, model, testX := fitSmallModel(t, Options{Features: 8, C: 1, Procs: 2})
+	want, err := fw.Predict(model, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fw2, model2, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model2.States) != len(model.States) {
+		t.Fatalf("loaded model has %d states, want %d", len(model2.States), len(model.States))
+	}
+	if fw2.Options() != fw.Options() {
+		t.Fatalf("options did not round-trip: %+v vs %+v", fw2.Options(), fw.Options())
+	}
+
+	before := fw2.CacheStats()
+	got, err := fw2.Predict(model2, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d scores, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d differs after round-trip: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Loaded states serve inference directly: only the test rows simulate.
+	after := fw2.CacheStats()
+	if sims := after.Misses - before.Misses; sims != int64(len(testX)) {
+		t.Fatalf("loaded model simulated %d states, want only the %d test rows", sims, len(testX))
+	}
+
+	// A loaded model carries its training context and can be re-saved.
+	var buf bytes.Buffer
+	if err := model2.Encode(&buf); err != nil {
+		t.Fatalf("re-encoding a loaded model: %v", err)
+	}
+}
+
+// TestSaveLoadWithoutStates: a model that dropped its handles (memory opt-out)
+// still round-trips; the loaded model re-simulates training rows on demand and
+// scores identically.
+func TestSaveLoadWithoutStates(t *testing.T) {
+	fw, model, testX := fitSmallModel(t, Options{Features: 6, C: 1, CacheBytes: -1})
+	if model.States != nil {
+		t.Fatal("opt-out model unexpectedly retained states")
+	}
+	want, err := fw.Predict(model, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2, model2, err := DecodeModel(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model2.States != nil {
+		t.Fatalf("stateless model decoded with %d states", len(model2.States))
+	}
+	got, err := fw2.Predict(model2, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLoadModelTuned: runtime knobs may change at load; sim-relevant options
+// are locked by the fingerprint.
+func TestLoadModelTuned(t *testing.T) {
+	_, model, _ := fitSmallModel(t, Options{Features: 6, C: 1, Procs: 1})
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fw, _, err := LoadModelTuned(path, func(o *Options) { o.Procs = 3; o.CacheBytes = 1 << 20 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.Options(); got.Procs != 3 || got.CacheBytes != 1<<20 {
+		t.Fatalf("tuning not applied: %+v", got)
+	}
+
+	if _, _, err := LoadModelTuned(path, func(o *Options) { o.Gamma = 0.9 }); err == nil {
+		t.Fatal("tuning γ must be rejected by the fingerprint check")
+	}
+	if _, _, err := LoadModelTuned(path, func(o *Options) { o.Layers = 5 }); err == nil {
+		t.Fatal("tuning the ansatz must be rejected by the fingerprint check")
+	}
+
+	// The memory-for-compute opt-out holds at load time too: a negative
+	// tuned budget must not pin the saved training states.
+	fwOff, mOff, err := LoadModelTuned(path, func(o *Options) { o.CacheBytes = -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mOff.States != nil {
+		t.Fatalf("CacheBytes<0 load still pinned %d states", len(mOff.States))
+	}
+	if _, err := fwOff.Predict(mOff, mOff.TrainX[:2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsHandAssembledModel(t *testing.T) {
+	_, model, _ := fitSmallModel(t, Options{Features: 6, C: 1})
+	bare := &Model{SVM: model.SVM, TrainX: model.TrainX, TrainY: model.TrainY}
+	var buf bytes.Buffer
+	if err := bare.Encode(&buf); err == nil {
+		t.Fatal("model without training context must not encode")
+	}
+	var nilModel *Model
+	if err := nilModel.Encode(&buf); err == nil {
+		t.Fatal("nil model must not encode")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	_, model, _ := fitSmallModel(t, Options{Features: 6, C: 1})
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	if _, _, err := DecodeModel(bytes.NewReader(blob[:5]), nil); err == nil {
+		t.Fatal("truncated header must error")
+	}
+	if _, _, err := DecodeModel(bytes.NewReader(blob[:len(blob)/2]), nil); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, _, err := DecodeModel(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[4] = 99 // version
+	if _, _, err := DecodeModel(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("unknown version must error")
+	}
+}

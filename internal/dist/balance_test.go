@@ -1,0 +1,185 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/kernel"
+	"repro/internal/mps"
+)
+
+// skewedRows builds a pessimally ordered input for equal-count round-robin
+// sharding on 2 processes: heavy rows (features at the edge of the rescaled
+// interval → large entangling angles → high χ) at even indices, near-product
+// rows (features ≈ 1 → θ ≈ 0) at odd indices, so the naive assignment parks
+// every heavy row on rank 0.
+func skewedRows(n, features int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, features)
+		v := 1.0 // exactly θ=0: a product state, nearly free to simulate
+		if i%2 == 0 {
+			v = 0.05
+		}
+		for j := range row {
+			row[j] = v
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func TestEstimateRowCostOrdersByEntanglement(t *testing.T) {
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 2, Gamma: 0.7}
+	cheap := EstimateRowCost(a, skewedRows(2, 8)[1])
+	heavy := EstimateRowCost(a, skewedRows(2, 8)[0])
+	if !(cheap > 0 && heavy > 0) {
+		t.Fatalf("costs must be positive: cheap %v, heavy %v", cheap, heavy)
+	}
+	if heavy < 4*cheap {
+		t.Fatalf("entangling row (%v) should cost far more than product row (%v)", heavy, cheap)
+	}
+	// Unusable rows degrade to unit cost instead of poisoning the assignment.
+	if c := EstimateRowCost(a, []float64{0.5}); c != 1 {
+		t.Fatalf("width mismatch should cost 1, got %v", c)
+	}
+	if c := EstimateRowCost(a, []float64{math.NaN(), 1, 1, 1, 1, 1, 1, 1}); math.IsNaN(c) || c <= 0 {
+		t.Fatalf("NaN feature produced unusable cost %v", c)
+	}
+}
+
+// TestCostBalancedIndicesPartition: the assignment is a partition (every
+// index exactly once), shard-local ascending, deterministic, and leaves
+// ranks ≥ n empty when processes outnumber rows.
+func TestCostBalancedIndicesPartition(t *testing.T) {
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.7}
+	X := testData(t, 11, 6)
+	for _, k := range []int{1, 2, 5} {
+		assign := costBalancedIndices(a, X, k)
+		if len(assign) != k {
+			t.Fatalf("k=%d: %d shards", k, len(assign))
+		}
+		seen := make([]int, len(X))
+		for _, shard := range assign {
+			for i, idx := range shard {
+				seen[idx]++
+				if i > 0 && shard[i-1] >= idx {
+					t.Fatalf("k=%d: shard not ascending: %v", k, shard)
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("k=%d: index %d assigned %d times", k, i, c)
+			}
+		}
+	}
+	assign := costBalancedIndices(a, X[:3], 5)
+	for p := 3; p < 5; p++ {
+		if len(assign[p]) != 0 {
+			t.Fatalf("rank %d should be idle with 3 rows on 5 procs: %v", p, assign[p])
+		}
+	}
+}
+
+// TestBalancedReducesPredictedSkew: the deterministic half of the ROADMAP
+// item — on pessimally ordered inputs the predicted per-process load under
+// LPT is near-flat while equal-count round-robin is maximally skewed.
+func TestBalancedReducesPredictedSkew(t *testing.T) {
+	a := circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 2, Gamma: 0.7}
+	X := skewedRows(16, 8)
+	costs := make([]float64, len(X))
+	for i := range X {
+		costs[i] = EstimateRowCost(a, X[i])
+	}
+	loadRatio := func(assign [][]int) float64 {
+		maxL, minL := 0.0, math.Inf(1)
+		for _, shard := range assign {
+			if len(shard) == 0 {
+				continue
+			}
+			var l float64
+			for _, i := range shard {
+				l += costs[i]
+			}
+			if l > maxL {
+				maxL = l
+			}
+			if l < minL {
+				minL = l
+			}
+		}
+		return maxL / minL
+	}
+	naive := loadRatio(naiveIndices(len(X), 2))
+	balanced := loadRatio(costBalancedIndices(a, X, 2))
+	if naive < 2 {
+		t.Fatalf("input not skewed enough to test: naive load ratio %v", naive)
+	}
+	if balanced > 1.5 {
+		t.Fatalf("balanced assignment still skewed: load ratio %v", balanced)
+	}
+	if balanced >= naive {
+		t.Fatalf("balancing did not help: %v vs naive %v", balanced, naive)
+	}
+}
+
+// TestBalancedReducesSimTimeSkew is the end-to-end half: on the same skewed
+// input, the measured per-process simulation wall-clock skew (max/min) of the
+// cost-balanced round-robin Gram is lower than the naive equal-count
+// assignment's — and both produce the identical Gram matrix.
+func TestBalancedReducesSimTimeSkew(t *testing.T) {
+	// A deeper, longer-range ansatz widens the heavy/cheap contrast (heavy
+	// rows reach χ ≈ 2^6, cheap rows stay χ = 1), so the timing comparison
+	// has real signal rather than overhead noise.
+	const features = 12
+	mk := func() *kernel.Quantum {
+		return &kernel.Quantum{Ansatz: circuit.Ansatz{Qubits: features, Layers: 2, Distance: 3, Gamma: 1.0}}
+	}
+	X := skewedRows(16, features)
+	const k = 2
+	simSkew := func(stats []ProcStats) float64 {
+		maxS, minS := time.Duration(0), time.Duration(math.MaxInt64)
+		for _, ps := range stats {
+			if ps.StatesSimulated == 0 {
+				continue
+			}
+			if ps.SimTime > maxS {
+				maxS = ps.SimTime
+			}
+			if ps.SimTime < minS {
+				minS = ps.SimTime
+			}
+		}
+		if minS < time.Microsecond {
+			minS = time.Microsecond
+		}
+		return float64(maxS) / float64(minS)
+	}
+
+	// Naive equal-count run, through the same machinery ComputeGram uses.
+	gramNaive := square(len(X))
+	retain := make([]*mps.MPS, len(X))
+	statsNaive := newStats(k)
+	if err := runGramRoundRobin(mk(), X, gramNaive, retain, statsNaive, naiveIndices(len(X), k)); err != nil {
+		t.Fatal(err)
+	}
+	mirror(gramNaive)
+
+	res, err := ComputeGram(mk(), X, k, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgree(t, "balanced vs naive", gramNaive, res.Gram)
+
+	naive, balanced := simSkew(statsNaive), simSkew(res.Procs)
+	t.Logf("sim-time skew (max/min): naive %.2f, balanced %.2f", naive, balanced)
+	if naive < 1.5 {
+		t.Skipf("naive run not skewed on this machine (%.2f); timing too coarse to compare", naive)
+	}
+	if balanced >= naive {
+		t.Fatalf("cost balancing did not reduce sim-time skew: balanced %.2f vs naive %.2f", balanced, naive)
+	}
+}

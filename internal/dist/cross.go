@@ -144,25 +144,25 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 // states that are already resident on every process (a model's retained
 // handles): each process simulates only its test shard and fills its rows
 // against the full training set directly — no barrier, no ring exchange, no
-// simulated communication volume.
+// simulated communication volume. Test shards are cost-balanced (balance.go)
+// so a skewed inference batch does not serialise behind one process.
 func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, stats []ProcStats) error {
 	k := len(stats)
+	assign := costBalancedIndices(q.Ansatz, testX, k)
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	for p := 0; p < k; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k)
+			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k, assign[p])
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int) error {
-	p := st.Rank
-	ownedTest := ownedIndices(len(testX), k, p)
+func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int, ownedTest []int) error {
 	if len(ownedTest) == 0 {
 		return nil
 	}

@@ -185,7 +185,10 @@ func ComputeGram(q *kernel.Quantum, X [][]float64, procs int, strategy Strategy)
 	var err error
 	switch strategy {
 	case RoundRobin:
-		err = runGramRoundRobin(q, X, gram, retain, stats)
+		// Shards are cost-balanced: rows are assigned by their predicted
+		// χ-based simulation cost instead of equal counts, so a skewed input
+		// cannot park all the heavy rows on one process (see balance.go).
+		err = runGramRoundRobin(q, X, gram, retain, stats, costBalancedIndices(q.Ansatz, X, procs))
 	case NoMessaging:
 		err = runGramNoMessaging(q, X, gram, retain, stats)
 	default:

@@ -10,8 +10,10 @@ import (
 
 // runGramRoundRobin executes the round-robin strategy: one goroutine per
 // simulated process, a simulation barrier, then the ring exchange of
-// serialised shards interleaved with the overlap computation.
-func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats) error {
+// serialised shards interleaved with the overlap computation. assign gives
+// each rank's owned row indices (ascending); ComputeGram passes the
+// cost-balanced assignment, the balance tests also drive the naive one.
+func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats, assign [][]int) error {
 	k := len(stats)
 	inboxes := make([]chan shard, k)
 	for p := range inboxes {
@@ -28,17 +30,16 @@ func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retai
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], inboxes, &simBarrier, &failed)
+			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], inboxes, &simBarrier, &failed, assign[p])
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
+func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool, owned []int) error {
 	k := len(inboxes)
 	p := st.Rank
-	owned := ownedIndices(len(X), k, p)
 	pl := procPool(q, k)
 
 	// Phase 1: materialise the local shard (simulating on cache misses),

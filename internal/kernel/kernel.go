@@ -50,11 +50,13 @@ func (q *Quantum) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// fingerprint encodes the full simulation context — everything besides the
-// data row that determines the simulated state — for cache keying. The
+// Fingerprint encodes the full simulation context — everything besides the
+// data row that determines the simulated state — for cache keying and for
+// model-persistence integrity checks (core.LoadModel refuses a model whose
+// saved fingerprint no longer matches the reconstructed kernel). The
 // zero-value Config aliases (nil backend → serial, zero budget → default)
 // are normalised so equivalent configurations share entries.
-func (q *Quantum) fingerprint() string {
+func (q *Quantum) Fingerprint() string {
 	be := "serial"
 	if q.Config.Backend != nil {
 		be = q.Config.Backend.Name()
@@ -101,7 +103,7 @@ func (q *Quantum) StateCached(x []float64) (st *mps.MPS, hit bool, err error) {
 		st, err = q.simulate(x)
 		return st, false, err
 	}
-	key := statecache.KeyFor(q.fingerprint(), x)
+	key := statecache.KeyFor(q.Fingerprint(), x)
 	return q.Cache.GetOrCompute(key, func() (*mps.MPS, error) { return q.simulate(x) })
 }
 

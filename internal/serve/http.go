@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxBodyBytes bounds a /predict request body; 1024 rows of 50 float64
+// features is well under 1 MiB of JSON, so 8 MiB leaves generous headroom.
+const maxBodyBytes = 8 << 20
+
+// PredictRequest is the POST /predict body.
+type PredictRequest struct {
+	// Rows are the data points to score, already rescaled into the (0,2)
+	// interval the feature map expects (dataset.PrepareSplit's output
+	// convention), one row per prediction.
+	Rows [][]float64 `json:"rows"`
+}
+
+// PredictResponse is the POST /predict answer.
+type PredictResponse struct {
+	// Scores are the SVM decision values, row for row; positive means the
+	// illicit class.
+	Scores []float64 `json:"scores"`
+	// Labels are the thresholded scores (±1).
+	Labels []int `json:"labels"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status         string  `json:"status"`
+	Features       int     `json:"features"`
+	TrainRows      int     `json:"train_rows"`
+	SupportVectors int     `json:"support_vectors"`
+	StatesResident bool    `json:"states_resident"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /predict — score rows (coalesced into micro-batches)
+//	GET  /healthz — liveness + model summary
+//	GET  /metrics — Prometheus text format counters
+//	GET  /stats   — the Stats snapshot as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed request: %v", err))
+		return
+	}
+	scores, err := s.Do(req.Rows)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrTooLarge):
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, ErrBadRequest):
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	labels := make([]int, len(scores))
+	for i, sc := range scores {
+		if sc > 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{Scores: scores, Labels: labels})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:         "ok",
+		Features:       s.fw.Options().Features,
+		TrainRows:      len(s.model.TrainX),
+		SupportVectors: len(s.model.SVM.SupportVectors()),
+		StatesResident: s.model.States != nil,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format — the serve-side request/batch/latency counters plus the state
+// cache's hit and latency counters, so one scrape shows both how well
+// requests coalesce and how well simulations are being reused.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var sb strings.Builder
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("qkernel_serve_requests_total", "accepted prediction requests", float64(st.Requests))
+	counter("qkernel_serve_rows_total", "rows carried by accepted requests", float64(st.Rows))
+	counter("qkernel_serve_batches_total", "dispatched micro-batches", float64(st.Batches))
+	counter("qkernel_serve_cross_calls_total", "underlying cross-kernel computations", float64(st.CrossCalls))
+	counter("qkernel_serve_rejected_total", "requests rejected with queue-full backpressure", float64(st.Rejected))
+	counter("qkernel_serve_errors_total", "batches whose kernel computation failed", float64(st.Errors))
+	counter("qkernel_serve_predict_seconds_total", "wall-clock inside batched kernel calls", st.PredictWall.Seconds())
+	counter("qkernel_serve_wait_seconds_total", "request time spent queued before batch dispatch", st.WaitWall.Seconds())
+	gauge("qkernel_serve_queue_jobs", "requests currently queued", float64(st.QueuedJobs))
+	gauge("qkernel_serve_batch_rows_max", "largest batch dispatched", float64(st.MaxBatchRows))
+	counter("qkernel_statecache_hits_total", "state-cache hits (resident or in-flight join)", float64(st.Cache.Hits))
+	counter("qkernel_statecache_misses_total", "state-cache misses (simulations executed)", float64(st.Cache.Misses))
+	counter("qkernel_statecache_evictions_total", "state-cache evictions", float64(st.Cache.Evictions))
+	counter("qkernel_statecache_compute_seconds_total", "wall-clock inside cached simulations", st.Cache.ComputeWall.Seconds())
+	counter("qkernel_statecache_wait_seconds_total", "wall-clock blocked on in-flight simulations", st.Cache.WaitWall.Seconds())
+	gauge("qkernel_statecache_bytes", "resident state-cache payload", float64(st.Cache.Bytes))
+	gauge("qkernel_statecache_budget_bytes", "configured state-cache budget", float64(st.Cache.Budget))
+	gauge("qkernel_statecache_entries", "resident state-cache entries", float64(st.Cache.Entries))
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

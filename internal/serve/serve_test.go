@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// trainSmall fits a small model for serving tests.
+func trainSmall(t *testing.T, features int) (*core.Framework, *core.Model, [][]float64) {
+	t.Helper()
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: features, NumIllicit: 30, NumLicit: 30, Seed: 1,
+	})
+	// 48-sample balanced subset → 38 train / 10 test rows after the 80/20
+	// split; the coalescing tests need ≥8 test rows.
+	train, test, err := dataset.PrepareSplit(full, 48, features, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.Len() < 8 {
+		t.Fatalf("test split too small for the suite: %d rows", test.Len())
+	}
+	fw, err := core.New(core.Options{Features: features, C: 1, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, model, test.X
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *core.Framework, *core.Model, [][]float64) {
+	t.Helper()
+	fw, model, testX := trainSmall(t, 6)
+	s, err := New(fw, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, fw, model, testX
+}
+
+func postPredict(t *testing.T, url string, rows [][]float64) (*http.Response, PredictResponse) {
+	t.Helper()
+	body, err := json.Marshal(PredictRequest{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PredictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, pr
+}
+
+func getStats(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSingleRequest: one POSTed row comes back with the same score the
+// in-process Predict produces, within MaxWait.
+func TestSingleRequest(t *testing.T) {
+	_, ts, fw, model, testX := newTestServer(t, Config{MaxWait: time.Millisecond})
+	want, err := fw.Predict(model, testX[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, pr := postPredict(t, ts.URL, testX[:1])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(pr.Scores) != 1 || pr.Scores[0] != want[0] {
+		t.Fatalf("scores %v, want %v", pr.Scores, want)
+	}
+	wantLabel := -1
+	if want[0] > 0 {
+		wantLabel = 1
+	}
+	if pr.Labels[0] != wantLabel {
+		t.Fatalf("label %d for score %v", pr.Labels[0], want[0])
+	}
+}
+
+// TestConcurrentRequestsCoalesce is the batching acceptance check: N
+// concurrent single-row requests are answered by ONE underlying cross-kernel
+// computation. MaxBatch is set to exactly N, so the batch dispatches the
+// moment the last request joins — deterministically one batch.
+func TestConcurrentRequestsCoalesce(t *testing.T) {
+	const n = 8
+	_, ts, fw, model, testX := newTestServer(t, Config{MaxBatch: n, MaxWait: 5 * time.Second})
+	want, err := fw.Predict(model, testX[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	scores := make([]float64, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, pr := postPredict(t, ts.URL, testX[i:i+1])
+			codes[i] = resp.StatusCode
+			if len(pr.Scores) == 1 {
+				scores[i] = pr.Scores[0]
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if scores[i] != want[i] {
+			t.Fatalf("request %d: score %v, want %v (batched rows must scatter back in order)", i, scores[i], want[i])
+		}
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Requests != n {
+		t.Fatalf("stats count %d requests, want %d", st.Requests, n)
+	}
+	if st.CrossCalls != 1 {
+		t.Fatalf("%d concurrent requests used %d cross-kernel calls, want exactly 1", n, st.CrossCalls)
+	}
+	if st.MaxBatchRows != n {
+		t.Fatalf("max batch %d, want %d", st.MaxBatchRows, n)
+	}
+}
+
+// TestQueueFullBackpressure: a depth-1 queue under a concurrent burst must
+// shed load with 429 + Retry-After rather than queueing unboundedly.
+func TestQueueFullBackpressure(t *testing.T) {
+	_, ts, _, _, testX := newTestServer(t, Config{MaxBatch: 1, MaxWait: time.Nanosecond, QueueDepth: 1})
+
+	const burst = 24
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[int]int{}
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postPredict(t, ts.URL, testX[i%len(testX):i%len(testX)+1])
+			mu.Lock()
+			counts[resp.StatusCode]++
+			mu.Unlock()
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("no 429s under a %d-request burst on a depth-1 queue: %v", burst, counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("every request shed — the queue admitted nothing: %v", counts)
+	}
+	if st := getStats(t, ts.URL); st.Rejected == 0 {
+		t.Fatalf("stats recorded no rejections: %+v", st)
+	}
+}
+
+// TestServeLoadedModelMatchesInProcess is the end-to-end acceptance path:
+// fit → save → load in a "server process" → POST a batch → scores identical
+// to the training process's in-process Predict.
+func TestServeLoadedModelMatchesInProcess(t *testing.T) {
+	fw, model, testX := trainSmall(t, 6)
+	want, err := fw.Predict(model, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fw2, model2, err := core.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(fw2, model2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, pr := postPredict(t, ts.URL, testX)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(pr.Scores) != len(want) {
+		t.Fatalf("%d scores for %d rows", len(pr.Scores), len(want))
+	}
+	for i := range want {
+		if pr.Scores[i] != want[i] {
+			t.Fatalf("row %d: served score %v, in-process %v", i, pr.Scores[i], want[i])
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, _, model, testX := newTestServer(t, Config{})
+	if _, pr := postPredict(t, ts.URL, testX[:2]); len(pr.Scores) != 2 {
+		t.Fatal("warm-up request failed")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h["status"] != "ok" || int(h["train_rows"].(float64)) != len(model.TrainX) {
+		t.Fatalf("healthz: %v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		"qkernel_serve_requests_total 1",
+		"qkernel_serve_rows_total 2",
+		"qkernel_serve_cross_calls_total 1",
+		"qkernel_statecache_misses_total",
+		"qkernel_statecache_compute_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s, ts, _, _, testX := newTestServer(t, Config{MaxRequestRows: 4})
+
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+
+	if resp, _ := postPredict(t, ts.URL, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty rows: status %d", resp.StatusCode)
+	}
+	if resp, _ := postPredict(t, ts.URL, [][]float64{{0.5, 0.5}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("narrow row: status %d", resp.StatusCode)
+	}
+	wide := make([][]float64, 5)
+	for i := range wide {
+		wide[i] = testX[0]
+	}
+	if resp, _ := postPredict(t, ts.URL, wide); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized request: status %d", resp.StatusCode)
+	}
+
+	// Direct Do validation errors carry the sentinel types.
+	if _, err := s.Do(nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Do(nil) = %v, want ErrBadRequest", err)
+	}
+	if _, err := s.Do(wide); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Do(oversized) = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCloseRejectsAndUnblocks(t *testing.T) {
+	fw, model, testX := trainSmall(t, 6)
+	s, err := New(fw, model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Do(testX[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, _ := postPredict(t, ts.URL, testX[:1]); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed server answered %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	fw, model, _ := trainSmall(t, 6)
+	if _, err := New(nil, model, Config{}); err == nil {
+		t.Fatal("nil framework accepted")
+	}
+	if _, err := New(fw, nil, Config{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	narrow, err := core.New(core.Options{Features: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(narrow, model, Config{}); err == nil {
+		t.Fatal("width-mismatched framework/model pair accepted")
+	}
+}
+
+// TestOversizedRequestRunsAloneAsBatch: a request larger than MaxBatch (but
+// within MaxRequestRows) is still served, as its own batch.
+func TestOversizedRequestRunsAloneAsBatch(t *testing.T) {
+	_, ts, fw, model, testX := newTestServer(t, Config{MaxBatch: 2, MaxRequestRows: 16})
+	want, err := fw.Predict(model, testX[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, pr := postPredict(t, ts.URL, testX[:6])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for i := range want {
+		if pr.Scores[i] != want[i] {
+			t.Fatalf("row %d: %v vs %v", i, pr.Scores[i], want[i])
+		}
+	}
+	if st := getStats(t, ts.URL); st.MaxBatchRows != 6 {
+		t.Fatalf("oversized request not dispatched as one batch: %+v", st)
+	}
+}

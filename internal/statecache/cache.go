@@ -31,6 +31,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/mps"
 )
@@ -92,6 +93,15 @@ type Stats struct {
 	Bytes int64
 	// Budget is the configured byte budget.
 	Budget int64
+	// ComputeWall is the cumulative wall-clock spent inside GetOrCompute's
+	// compute callbacks (the simulation latency the cache either pays or
+	// saves) — with Misses this yields the mean simulate latency a serving
+	// process reports per request.
+	ComputeWall time.Duration
+	// WaitWall is the cumulative wall-clock concurrent callers spent blocked
+	// joining a peer's in-flight computation (the latency cost of the
+	// singleflight dedup, always bounded by one simulation).
+	WaitWall time.Duration
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -127,6 +137,7 @@ type Cache struct {
 	inflight map[Key]*call
 
 	hits, misses, evictions, rejected int64
+	computeWall, waitWall             time.Duration
 }
 
 // New returns a cache bounded by budgetBytes. Budgets ≤ 0 are treated as
@@ -236,7 +247,12 @@ func (c *Cache) GetOrCompute(k Key, compute func() (*mps.MPS, error)) (st *mps.M
 		// was avoided even though the result is not resident yet.
 		c.hits++
 		c.mu.Unlock()
+		t0 := time.Now()
 		<-cl.done
+		wait := time.Since(t0)
+		c.mu.Lock()
+		c.waitWall += wait
+		c.mu.Unlock()
 		return cl.st, true, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
@@ -244,9 +260,12 @@ func (c *Cache) GetOrCompute(k Key, compute func() (*mps.MPS, error)) (st *mps.M
 	c.misses++
 	c.mu.Unlock()
 
+	t0 := time.Now()
 	cl.st, cl.err = compute()
+	elapsed := time.Since(t0)
 
 	c.mu.Lock()
+	c.computeWall += elapsed
 	delete(c.inflight, k)
 	if cl.err == nil {
 		c.put(k, cl.st)
@@ -264,12 +283,14 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Rejected:  c.rejected,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
-		Budget:    c.budget,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Rejected:    c.rejected,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		Budget:      c.budget,
+		ComputeWall: c.computeWall,
+		WaitWall:    c.waitWall,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/mps"
 )
@@ -265,5 +266,64 @@ func TestHitRate(t *testing.T) {
 	}
 	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
 		t.Fatalf("hit rate %v, want 0.75", r)
+	}
+}
+
+// TestLatencyCounters: ComputeWall accumulates the wall-clock of compute
+// callbacks (paid on misses) and WaitWall the time joiners spent blocked on
+// an in-flight peer — the per-request latency counters /metrics surfaces.
+func TestLatencyCounters(t *testing.T) {
+	c := New(1 << 20)
+	const pause = 5 * time.Millisecond
+
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrCompute(key(0), func() (*mps.MPS, error) {
+			close(gate) // a joiner can now queue behind this flight
+			// Hold the flight open until the joiner has actually joined (the
+			// only way Hits can move while nothing is resident), so WaitWall
+			// is guaranteed to observe a real wait.
+			for c.Stats().Hits == 0 {
+				runtime.Gosched()
+			}
+			time.Sleep(pause)
+			return zeroState(8), nil
+		})
+	}()
+	<-gate
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrCompute(key(0), func() (*mps.MPS, error) {
+			t.Error("joiner must not compute")
+			return zeroState(8), nil
+		})
+	}()
+	wg.Wait()
+
+	s := c.Stats()
+	if s.ComputeWall < pause {
+		t.Fatalf("ComputeWall %v below the %v the compute slept", s.ComputeWall, pause)
+	}
+	if s.WaitWall <= 0 {
+		t.Fatalf("joiner recorded no wait: %+v", s)
+	}
+	// Generous upper bound: the joiner's wait includes its own wake-up
+	// latency, which can stretch well past the flight on a loaded machine.
+	if s.WaitWall > s.ComputeWall+time.Second {
+		t.Fatalf("WaitWall %v implausibly exceeds one flight (%v)", s.WaitWall, s.ComputeWall)
+	}
+
+	// Resident hits are free: neither counter moves.
+	before := c.Stats()
+	if _, hit, _ := c.GetOrCompute(key(0), func() (*mps.MPS, error) { return zeroState(8), nil }); !hit {
+		t.Fatal("expected a resident hit")
+	}
+	after := c.Stats()
+	if after.ComputeWall != before.ComputeWall || after.WaitWall != before.WaitWall {
+		t.Fatalf("resident hit moved latency counters: %+v vs %+v", after, before)
 	}
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# serve-smoke: the end-to-end serving check used by `make serve-smoke` and
+# CI. Trains a tiny model, starts `qkernel serve` on a free port (the server
+# logs its chosen address), POSTs one prediction batch and asserts HTTP 200
+# with scores, then checks /healthz.
+set -eu
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/qkernel" ./cmd/qkernel
+"$tmp/qkernel" train -size 16 -features 6 -out "$tmp/model.bin" >/dev/null
+
+"$tmp/qkernel" serve -addr 127.0.0.1:0 -model "$tmp/model.bin" >"$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+url=""
+i=0
+while [ $i -lt 50 ]; do
+    url=$(grep -o 'http://[0-9.:]*' "$tmp/serve.log" | head -n 1 || true)
+    [ -n "$url" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve-smoke: server exited early" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "serve-smoke: server never reported its listen address" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+
+code=$(curl -s -o "$tmp/resp.json" -w '%{http_code}' -X POST "$url/predict" \
+    -H 'Content-Type: application/json' \
+    -d '{"rows":[[1,1,1,1,1,1],[0.5,1.2,0.8,1.0,1.5,0.3]]}')
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: POST /predict returned HTTP $code" >&2
+    cat "$tmp/resp.json" >&2 2>/dev/null || true
+    exit 1
+fi
+if ! grep -q '"scores"' "$tmp/resp.json"; then
+    echo "serve-smoke: response carries no scores" >&2
+    cat "$tmp/resp.json" >&2
+    exit 1
+fi
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "$url/healthz")
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: GET /healthz returned HTTP $code" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK — $url answered $(cat "$tmp/resp.json")"
