@@ -181,7 +181,7 @@ func BenchmarkFig8RuntimeBreakdown(b *testing.B) {
 			b.ReportAllocs()
 			var sim, inner time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := dist.ComputeGram(q, rows, step.Procs, dist.RoundRobin)
+				res, err := dist.ComputeGram(q, rows, dist.Options{Procs: step.Procs, Strategy: dist.RoundRobin})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -329,7 +329,7 @@ func BenchmarkAblationDistStrategies(b *testing.B) {
 			b.ReportAllocs()
 			var simulated int
 			for i := 0; i < b.N; i++ {
-				res, err := dist.ComputeGram(q, rows, 4, strat)
+				res, err := dist.ComputeGram(q, rows, dist.Options{Procs: 4, Strategy: strat})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -339,6 +339,36 @@ func BenchmarkAblationDistStrategies(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(simulated), "states-simulated")
+		})
+	}
+}
+
+// Transport ablation: the same round-robin Gram over each wire — the chan
+// baseline, the cost-modelled simulated network (200µs/message at 512 MiB/s,
+// a fast-LAN flavour) and real loopback TCP sockets. ns/op spreads are the
+// price of each wire; the comm-wall-ms metric isolates the communication
+// phase the transports differ in, and the Gram itself is bit-identical
+// across all three (enforced by the metamorphic suite).
+func BenchmarkGramTransport(b *testing.B) {
+	rows := benchData(b, 24, 16)
+	q := &kernel.Quantum{Ansatz: circuit.Ansatz{Qubits: 16, Layers: 1, Distance: 1, Gamma: 0.5}}
+	for _, tr := range []dist.Transport{
+		dist.ChanTransport{},
+		&dist.SimTransport{Latency: 200 * time.Microsecond, MBps: 512},
+		dist.TCPTransport{},
+	} {
+		tr := tr
+		b.Run(dist.TransportName(tr), func(b *testing.B) {
+			b.ReportAllocs()
+			var comm time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := dist.ComputeGram(q, rows, dist.Options{Procs: 4, Strategy: dist.RoundRobin, Transport: tr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, comm = res.MaxPhaseTimes()
+			}
+			b.ReportMetric(float64(comm.Milliseconds()), "comm-wall-ms")
 		})
 	}
 }

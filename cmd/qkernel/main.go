@@ -13,7 +13,15 @@
 //
 //	qkernel [-size 200] [-features 50] [-d 1] [-layers 2] [-gamma 0.5]
 //	        [-procs 4] [-strategy round-robin] [-baseline] [-cache-mb 256]
+//	        [-transport chan] [-wire-latency-us 0] [-wire-mbps 0]
 //	        [-data file.csv] [-label-col 0] [-save model.json]
+//
+// -transport selects the wire behind the distribution strategies: chan
+// (in-process channels, the default), sim (the chan wire with a per-message
+// latency/bandwidth/jitter cost model — tune it with -wire-latency-us,
+// -wire-mbps and -wire-jitter-us) or tcp (real loopback TCP sockets). The
+// kernel matrices are identical on every transport; only the communication
+// accounting changes.
 //
 // With -data, samples are loaded from CSV (label column selectable; the
 // Kaggle Elliptic export works directly) instead of the synthetic
@@ -112,6 +120,8 @@ func runLegacy(args []string) int {
 	gamma := fs.Float64("gamma", 0.5, "kernel bandwidth γ")
 	procs := fs.Int("procs", 4, "simulated distributed processes")
 	strategyName := fs.String("strategy", "round-robin", "round-robin | no-messaging")
+	var wf dist.WireFlags
+	wf.Register(fs)
 	baseline := fs.Bool("baseline", false, "also train the Gaussian-kernel baseline")
 	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	savePath := fs.String("save", "", "write the trained SVM model as JSON")
@@ -124,6 +134,10 @@ func runLegacy(args []string) int {
 	_ = fs.Parse(args)
 
 	strategy, err := dist.ParseStrategy(*strategyName)
+	if err != nil {
+		return fail(err)
+	}
+	transport, err := wf.Build()
 	if err != nil {
 		return fail(err)
 	}
@@ -141,20 +155,21 @@ func runLegacy(args []string) int {
 			fmt.Println("note: the state cache dedupes no-messaging's redundant simulations; pass -cache-mb 0 to measure the pure compute-for-communication trade-off")
 		}
 	}
+	distOpts := dist.Options{Procs: *procs, Strategy: strategy, Transport: transport}
 	t0 := time.Now()
-	gramRes, err := dist.ComputeGram(q, train.X, *procs, strategy)
+	gramRes, err := dist.ComputeGram(q, train.X, distOpts)
 	if err != nil {
 		return fail(fmt.Errorf("training kernel: %w", err))
 	}
 	sim, inner, comm := gramRes.MaxPhaseTimes()
-	fmt.Printf("train Gram (%s, %d procs): wall %v (sim %v, inner %v, comm %v, %.1f MiB sent)\n",
-		strategy, len(gramRes.Procs), gramRes.Wall.Round(time.Millisecond),
+	fmt.Printf("train Gram (%s over %s, %d procs): wall %v (sim %v, inner %v, comm %v, %.1f MiB sent)\n",
+		strategy, dist.TransportName(transport), len(gramRes.Procs), gramRes.Wall.Round(time.Millisecond),
 		sim.Round(time.Millisecond), inner.Round(time.Millisecond), comm.Round(time.Millisecond),
 		float64(gramRes.TotalBytes())/(1<<20))
 
 	// The retained training states make the inference kernel
 	// communication-free: only the test rows are simulated.
-	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, *procs)
+	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, distOpts)
 	if err != nil {
 		return fail(fmt.Errorf("inference kernel: %w", err))
 	}

@@ -23,6 +23,8 @@ func runTrain(args []string) int {
 	gamma := fs.Float64("gamma", 0.5, "kernel bandwidth γ")
 	procs := fs.Int("procs", 4, "simulated distributed processes")
 	strategyName := fs.String("strategy", "round-robin", "round-robin | no-messaging")
+	var wf dist.WireFlags
+	wf.Register(fs)
 	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	cFlag := fs.Float64("c", 0, "SVM box constraint (0 sweeps the paper's grid)")
 	out := fs.String("out", "", "write the trained model here (required)")
@@ -32,6 +34,10 @@ func runTrain(args []string) int {
 	}
 
 	strategy, err := dist.ParseStrategy(*strategyName)
+	if err != nil {
+		return fail(err)
+	}
+	transport, err := wf.Build()
 	if err != nil {
 		return fail(err)
 	}
@@ -46,7 +52,7 @@ func runTrain(args []string) int {
 	}
 	fw, err := core.New(core.Options{
 		Features: df.features, Layers: *layers, Distance: *distance, Gamma: *gamma,
-		C: *cFlag, Procs: *procs, Strategy: strategy, CacheBytes: cacheBytes,
+		C: *cFlag, Procs: *procs, Strategy: strategy, Transport: transport, CacheBytes: cacheBytes,
 	})
 	if err != nil {
 		return fail(err)
@@ -57,8 +63,8 @@ func runTrain(args []string) int {
 	if err != nil {
 		return fail(err)
 	}
-	fmt.Printf("fit (%s, %d procs): wall %v (sim %v, inner %v, comm %v), best C=%.2f, train AUC %.3f, %d support vectors\n",
-		strategy, *procs, report.GramWall.Round(time.Millisecond),
+	fmt.Printf("fit (%s over %s, %d procs): wall %v (sim %v, inner %v, comm %v), best C=%.2f, train AUC %.3f, %d support vectors\n",
+		strategy, dist.TransportName(transport), *procs, report.GramWall.Round(time.Millisecond),
 		report.SimWall.Round(time.Millisecond), report.InnerWall.Round(time.Millisecond),
 		report.CommWall.Round(time.Millisecond), report.BestC, report.TrainAUC, report.SupportVecs)
 

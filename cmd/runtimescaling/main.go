@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	runtimescaling [-qubits 165] [-layers 2] [-d 1] [-gamma 0.1] [-steps 64:2,128:4,256:8,512:16] [-csv out.csv]
+//	runtimescaling [-qubits 165] [-layers 2] [-d 1] [-gamma 0.1] [-steps 64:2,128:4,256:8,512:16]
+//	               [-transport chan] [-wire-latency-us 0] [-wire-mbps 0] [-csv out.csv]
 //
-// Paper-scale settings: -steps 400:2,800:4,1600:8,3200:16,6400:32.
+// Paper-scale settings: -steps 400:2,800:4,1600:8,3200:16,6400:32. With
+// -transport sim the comm bars price every shard message through the
+// configured latency/bandwidth model instead of the free in-process wire —
+// the knob that makes Fig. 8's communication column reflect a real cluster.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/experiments"
 )
 
@@ -48,6 +53,8 @@ func main() {
 	gamma := flag.Float64("gamma", 0.1, "kernel bandwidth γ")
 	steps := flag.String("steps", "64:2,128:4,256:8,512:16", "comma-separated size:procs pairs")
 	seed := flag.Int64("seed", 1, "data seed")
+	var wf dist.WireFlags
+	wf.Register(flag.CommandLine)
 	csvPath := flag.String("csv", "", "optional CSV output path")
 	flag.Parse()
 
@@ -56,20 +63,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "runtimescaling:", err)
 		os.Exit(1)
 	}
+	transport, err := wf.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runtimescaling:", err)
+		os.Exit(1)
+	}
 	res, err := experiments.RunFig8(experiments.Fig8Params{
-		Qubits:   *qubits,
-		Layers:   *layers,
-		Distance: *distance,
-		Gamma:    *gamma,
-		Steps:    st,
-		Seed:     *seed,
+		Qubits:    *qubits,
+		Layers:    *layers,
+		Distance:  *distance,
+		Gamma:     *gamma,
+		Steps:     st,
+		Seed:      *seed,
+		Transport: transport,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "runtimescaling:", err)
 		os.Exit(1)
 	}
 
-	fmt.Println("Fig. 8 — distributed Gram computation breakdown (round-robin)")
+	fmt.Printf("Fig. 8 — distributed Gram computation breakdown (round-robin over %s)\n", dist.TransportName(transport))
 	fmt.Println(res.Table().Render())
 	fmt.Println("extrapolations from measured per-op costs (paper section III-A):")
 	for _, proj := range [][2]int{{6400, 32}, {64000, 320}, {64000, 640}} {

@@ -53,8 +53,9 @@ func main() {
 	if *cacheMB > 0 {
 		q.Cache = statecache.New(int64(*cacheMB) << 20)
 	}
+	distOpts := dist.Options{Procs: procs, Strategy: dist.RoundRobin}
 	t0 := time.Now()
-	gramRes, err := dist.ComputeGram(q, train.X, procs, dist.RoundRobin)
+	gramRes, err := dist.ComputeGram(q, train.X, distOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func main() {
 
 	// Inference reuses the training states retained by the Gram run:
 	// zero training-set re-simulation, zero communication.
-	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, procs)
+	crossRes, err := dist.ComputeCrossStates(q, test.X, gramRes.States, distOpts)
 	if err != nil {
 		log.Fatal(err)
 	}

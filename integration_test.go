@@ -8,6 +8,7 @@ package main
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/circuit"
@@ -35,14 +36,14 @@ func TestEndToEndPipeline(t *testing.T) {
 	q := &kernel.Quantum{
 		Ansatz: circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 1, Gamma: 0.1},
 	}
-	gramRes, err := dist.ComputeGram(q, train.X, 4, dist.RoundRobin)
+	gramRes, err := dist.ComputeGram(q, train.X, dist.Options{Procs: 4, Strategy: dist.RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := kernel.ValidateGram(gramRes.Gram, 1e-8, false); err != nil {
 		t.Fatal(err)
 	}
-	crossRes, err := dist.ComputeCross(q, test.X, train.X, 4)
+	crossRes, err := dist.ComputeCross(q, test.X, train.X, dist.Options{Procs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,8 +62,12 @@ func TestEndToEndPipeline(t *testing.T) {
 }
 
 // TestStrategiesAndBackendsAllAgree computes the same Gram matrix through
-// six independent paths (2 strategies × {1, 3} procs, sequential, both
-// backends) and demands they agree.
+// every independent path — sequential on both backends, then each
+// distribution strategy × {1, 3} procs × each wire transport (in-process
+// channels, the cost-modelled simulated network, loopback TCP sockets) —
+// and demands they all agree. The transport sweep is the metamorphic
+// relation that keeps the pluggable wire honest: only instrumentation may
+// differ, never a kernel entry.
 func TestStrategiesAndBackendsAllAgree(t *testing.T) {
 	full := dataset.GenerateElliptic(dataset.EllipticConfig{
 		Features: 8, NumIllicit: 8, NumLicit: 8, Seed: 9,
@@ -102,13 +107,20 @@ func TestStrategiesAndBackendsAllAgree(t *testing.T) {
 	}
 	check("parallel backend", gp)
 
+	transports := []dist.Transport{
+		dist.ChanTransport{},
+		&dist.SimTransport{Latency: 50 * time.Microsecond, MBps: 1024, Jitter: 20 * time.Microsecond},
+		dist.TCPTransport{},
+	}
 	for _, strat := range []dist.Strategy{dist.NoMessaging, dist.RoundRobin} {
 		for _, k := range []int{1, 3} {
-			res, err := dist.ComputeGram(qSerial, X, k, strat)
-			if err != nil {
-				t.Fatalf("%v k=%d: %v", strat, k, err)
+			for _, tr := range transports {
+				res, err := dist.ComputeGram(qSerial, X, dist.Options{Procs: k, Strategy: strat, Transport: tr})
+				if err != nil {
+					t.Fatalf("%v k=%d %s: %v", strat, k, dist.TransportName(tr), err)
+				}
+				check(strat.String()+"/"+dist.TransportName(tr), res.Gram)
 			}
-			check(strat.String(), res.Gram)
 		}
 	}
 }

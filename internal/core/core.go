@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/backend"
@@ -50,6 +51,11 @@ type Options struct {
 	Procs int
 	// Strategy selects the distribution scheme (default RoundRobin).
 	Strategy dist.Strategy
+	// Transport selects the wire carrying shard messages between the
+	// distributed processes (nil = dist.ChanTransport, the zero-cost
+	// in-process channels). The kernel matrices are transport-independent;
+	// only the communication instrumentation changes.
+	Transport dist.Transport
 	// UseParallelBackend switches the MPS simulator to the
 	// accelerator-role backend (worthwhile only at large bond dimension —
 	// see the Fig. 5 crossover).
@@ -88,6 +94,28 @@ type Framework struct {
 	// retention disabled).
 	cacheBudget int64
 	q           *kernel.Quantum
+
+	// commMu guards comm, the cumulative wire activity of every distributed
+	// kernel computation this framework has run (Fit and Predict).
+	commMu sync.Mutex
+	comm   CommStats
+}
+
+// CommStats aggregates the distributed-wire activity of a framework: how
+// many kernel computations ran, what they sent, and the summed per-process
+// communication wall-clock. Exposed by the serving layer's /stats and
+// /metrics so an operator sees what the configured transport is costing.
+type CommStats struct {
+	// Transport is the flag-style name of the configured wire.
+	Transport string `json:"transport"`
+	// Computations counts distributed Gram/cross computations run.
+	Computations int64 `json:"computations"`
+	// Messages and Bytes total the shard messages and their framed wire
+	// volume across all computations.
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	// CommWall is the summed per-process communication wall-clock.
+	CommWall time.Duration `json:"comm_wall"`
 }
 
 // New validates the options and builds a framework.
@@ -120,7 +148,31 @@ func New(opts Options) (*Framework, error) {
 		opts:        opts,
 		cacheBudget: cacheBudget,
 		q:           &kernel.Quantum{Ansatz: ansatz, Config: cfg, Cache: cache},
+		comm:        CommStats{Transport: dist.TransportName(opts.Transport)},
 	}, nil
+}
+
+// distOptions maps the framework's options onto one distributed computation.
+func (f *Framework) distOptions() dist.Options {
+	return dist.Options{Procs: f.opts.Procs, Strategy: f.opts.Strategy, Transport: f.opts.Transport}
+}
+
+// recordComm folds one distributed computation's wire activity into the
+// framework's cumulative counters.
+func (f *Framework) recordComm(res *dist.Result) {
+	f.commMu.Lock()
+	defer f.commMu.Unlock()
+	f.comm.Computations++
+	f.comm.Messages += int64(res.TotalMessages())
+	f.comm.Bytes += res.TotalBytes()
+	f.comm.CommWall += res.TotalCommTime()
+}
+
+// CommStats snapshots the framework's cumulative distributed-wire counters.
+func (f *Framework) CommStats() CommStats {
+	f.commMu.Lock()
+	defer f.commMu.Unlock()
+	return f.comm
 }
 
 // CacheStats snapshots the framework's state-cache counters; the zero Stats
@@ -181,10 +233,11 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 	if len(X) != len(y) {
 		return nil, nil, fmt.Errorf("core: %d rows for %d labels", len(X), len(y))
 	}
-	res, err := dist.ComputeGram(f.q, X, f.opts.Procs, f.opts.Strategy)
+	res, err := dist.ComputeGram(f.q, X, f.distOptions())
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: gram: %w", err)
 	}
+	f.recordComm(res)
 	report := &FitReport{GramWall: res.Wall, BytesSent: res.TotalBytes()}
 	report.SimWall, report.InnerWall, report.CommWall = res.MaxPhaseTimes()
 	report.CacheHits = res.TotalCacheHits()
@@ -308,13 +361,14 @@ func (f *Framework) Predict(m *Model, X [][]float64) ([]float64, error) {
 	var res *dist.Result
 	var err error
 	if m.States != nil {
-		res, err = dist.ComputeCrossStates(f.q, X, m.States, f.opts.Procs)
+		res, err = dist.ComputeCrossStates(f.q, X, m.States, f.distOptions())
 	} else {
-		res, err = dist.ComputeCross(f.q, X, m.TrainX, f.opts.Procs)
+		res, err = dist.ComputeCross(f.q, X, m.TrainX, f.distOptions())
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: inference kernel: %w", err)
 	}
+	f.recordComm(res)
 	return m.SVM.DecisionBatch(res.Gram)
 }
 

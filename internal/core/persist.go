@@ -46,8 +46,15 @@ type modelFile struct {
 	Gamma, C                   float64
 	Procs                      int
 	Strategy                   string
-	UseParallelBackend         bool
-	CacheBytes                 int64
+	// Transport is the flag-style wire name (dist.ParseTransport). Like
+	// Procs it is a runtime knob, not a sim-relevant option: a loader may
+	// re-tune it freely, and cost-model parameters (SimTransport's latency/
+	// bandwidth knobs) are deliberately not persisted — set them through the
+	// LoadModelTuned hook. Empty in files written before the field existed,
+	// which reads as the chan default.
+	Transport          string
+	UseParallelBackend bool
+	CacheBytes         int64
 
 	// Fingerprint is the kernel simulation-context fingerprint at save time.
 	Fingerprint string
@@ -121,6 +128,7 @@ func (m *Model) Encode(w io.Writer) error {
 		Features: m.opts.Features, Layers: m.opts.Layers, Distance: m.opts.Distance,
 		Gamma: m.opts.Gamma, C: m.opts.C, Procs: m.opts.Procs,
 		Strategy:           m.opts.Strategy.String(),
+		Transport:          dist.TransportName(m.opts.Transport),
 		UseParallelBackend: m.opts.UseParallelBackend,
 		CacheBytes:         m.opts.CacheBytes,
 		Fingerprint:        m.fingerprint,
@@ -157,7 +165,7 @@ func LoadModel(path string) (*Framework, *Model, error) {
 }
 
 // LoadModelTuned is LoadModel with a hook to adjust runtime options (Procs,
-// CacheBytes, C, Strategy) before the framework is rebuilt — the knobs a
+// CacheBytes, C, Strategy, Transport) before the framework is rebuilt — the knobs a
 // serving process re-tunes for its own hardware. Changing any option that
 // affects the simulation itself (ansatz shape, γ, backend) is detected by the
 // fingerprint check and rejected: the stored states and SVM were trained
@@ -194,9 +202,18 @@ func DecodeModel(r io.Reader, tune func(*Options)) (*Framework, *Model, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: decoding model: %w", err)
 	}
+	// The chan wire is Options' nil default (dist.TransportName(nil) ==
+	// "chan"), so it decodes back to nil and default options round-trip
+	// exactly; "" is a file written before the field existed.
+	var transport dist.Transport
+	if mf.Transport != "" && mf.Transport != dist.TransportName(nil) {
+		if transport, err = dist.ParseTransport(mf.Transport); err != nil {
+			return nil, nil, fmt.Errorf("core: decoding model: %w", err)
+		}
+	}
 	opts := Options{
 		Features: mf.Features, Layers: mf.Layers, Distance: mf.Distance,
-		Gamma: mf.Gamma, C: mf.C, Procs: mf.Procs, Strategy: strategy,
+		Gamma: mf.Gamma, C: mf.C, Procs: mf.Procs, Strategy: strategy, Transport: transport,
 		UseParallelBackend: mf.UseParallelBackend, CacheBytes: mf.CacheBytes,
 	}
 	if tune != nil {

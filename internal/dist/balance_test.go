@@ -163,12 +163,12 @@ func TestBalancedReducesSimTimeSkew(t *testing.T) {
 	gramNaive := square(len(X))
 	retain := make([]*mps.MPS, len(X))
 	statsNaive := newStats(k)
-	if err := runGramRoundRobin(mk(), X, gramNaive, retain, statsNaive, naiveIndices(len(X), k)); err != nil {
+	if err := runGramRoundRobin(mk(), X, gramNaive, retain, statsNaive, naiveIndices(len(X), k), ChanTransport{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	mirror(gramNaive)
 
-	res, err := ComputeGram(mk(), X, k, RoundRobin)
+	res, err := ComputeGram(mk(), X, Options{Procs: k, Strategy: RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}

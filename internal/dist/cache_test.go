@@ -25,7 +25,7 @@ func TestCachedStrategiesAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
-		res, err := ComputeGram(cachedTestKernel(6), X, 3, strat)
+		res, err := ComputeGram(cachedTestKernel(6), X, Options{Procs: 3, Strategy: strat})
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
@@ -46,7 +46,7 @@ func TestNoMessagingCacheCollapsesRedundancy(t *testing.T) {
 	n := 12
 	X := testData(t, n, 6)
 	q := cachedTestKernel(6)
-	res, err := ComputeGram(q, X, 4, NoMessaging)
+	res, err := ComputeGram(q, X, Options{Procs: 4, Strategy: NoMessaging})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,10 +66,10 @@ func TestCrossReusesGramStates(t *testing.T) {
 	test := testData(t, 17, 6)[10:] // disjoint rows from the same distribution
 	q := cachedTestKernel(6)
 
-	if _, err := ComputeGram(q, train, 3, RoundRobin); err != nil {
+	if _, err := ComputeGram(q, train, Options{Procs: 3, Strategy: RoundRobin}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ComputeCross(q, test, train, 3)
+	res, err := ComputeCross(q, test, train, Options{Procs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestResultStatesRetained(t *testing.T) {
 	X := testData(t, 9, 6)
 	q := testKernel(6)
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
-		res, err := ComputeGram(q, X, 3, strat)
+		res, err := ComputeGram(q, X, Options{Procs: 3, Strategy: strat})
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
@@ -126,15 +126,15 @@ func TestComputeCrossStates(t *testing.T) {
 	test := testData(t, 13, 6)[8:]
 	q := testKernel(6)
 
-	gramRes, err := ComputeGram(q, train, 3, RoundRobin)
+	gramRes, err := ComputeGram(q, train, Options{Procs: 3, Strategy: RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := ComputeCross(q, test, train, 3)
+	ref, err := ComputeCross(q, test, train, Options{Procs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ComputeCrossStates(q, test, gramRes.States, 3)
+	res, err := ComputeCrossStates(q, test, gramRes.States, Options{Procs: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestComputeCrossStates(t *testing.T) {
 
 func TestComputeCrossStatesRejectsNil(t *testing.T) {
 	test := testData(t, 2, 6)
-	if _, err := ComputeCrossStates(testKernel(6), test, make([]*mps.MPS, 3), 2); err == nil {
+	if _, err := ComputeCrossStates(testKernel(6), test, make([]*mps.MPS, 3), Options{Procs: 2}); err == nil {
 		t.Fatal("nil training state accepted")
 	}
 }
@@ -167,12 +167,12 @@ func TestComputeCrossStatesRejectsNil(t *testing.T) {
 // behaviour), never a panic in the overlap zipper.
 func TestComputeCrossStatesRejectsWidthMismatch(t *testing.T) {
 	train := testData(t, 4, 6)
-	gramRes, err := ComputeGram(testKernel(6), train, 2, RoundRobin)
+	gramRes, err := ComputeGram(testKernel(6), train, Options{Procs: 2, Strategy: RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}
 	narrow := testKernel(5)
-	if _, err := ComputeCrossStates(narrow, testData(t, 2, 5), gramRes.States, 2); err == nil {
+	if _, err := ComputeCrossStates(narrow, testData(t, 2, 5), gramRes.States, Options{Procs: 2}); err == nil {
 		t.Fatal("6-qubit training states accepted by a 5-qubit ansatz")
 	}
 }
@@ -184,11 +184,11 @@ func TestCachedRaceStress(t *testing.T) {
 	q := cachedTestKernel(5)
 	done := make(chan error, 2)
 	go func() {
-		_, err := ComputeGram(q, X, 3, RoundRobin)
+		_, err := ComputeGram(q, X, Options{Procs: 3, Strategy: RoundRobin})
 		done <- err
 	}()
 	go func() {
-		_, err := ComputeGram(q, X, 2, NoMessaging)
+		_, err := ComputeGram(q, X, Options{Procs: 2, Strategy: NoMessaging})
 		done <- err
 	}()
 	for i := 0; i < 2; i++ {

@@ -3,6 +3,7 @@ package dist
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
@@ -12,14 +13,15 @@ import (
 // and train states are both sharded round-robin; each process materialises
 // its two shards (simulating on cache misses — after a ComputeGram on the
 // same rows the whole train shard is a cache hit), the train shards are
-// exchanged around the ring, and each process fills the complete Gram rows
-// of its test shard.
-func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, stats []ProcStats) error {
+// exchanged around the ring over the transport, and each process fills the
+// complete Gram rows of its test shard.
+func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, stats []ProcStats, tr Transport) error {
 	k := len(stats)
-	inboxes := make([]chan shard, k)
-	for p := range inboxes {
-		inboxes[p] = make(chan shard, k)
+	net, err := tr.Network(k)
+	if err != nil {
+		return err
 	}
+	defer net.Close()
 	var simBarrier sync.WaitGroup
 	simBarrier.Add(k)
 	var failed atomic.Bool
@@ -29,15 +31,14 @@ func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]f
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], inboxes, &simBarrier, &failed)
+			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], net.Endpoint(p), k, &simBarrier, &failed)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
-	k := len(inboxes)
+func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
 	p := st.Rank
 	ownedTest := ownedIndices(len(testX), k, p)
 	ownedTrain := ownedIndices(len(trainX), k, p)
@@ -87,14 +88,18 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	// Phase 2: exchange the train shards. As in the training path, a
 	// marshal failure still completes the sends with an empty shard so no
 	// peer blocks waiting on it.
-	var own shard
+	var own Shard
 	var commErr error
 	st.CommTime += timed(func() {
 		own, commErr = marshalShard(p, ownedTrain, trainStates)
 		if commErr != nil {
-			own = shard{from: p}
+			own = Shard{From: p}
 		}
-		st.MessagesSent, st.BytesSent = sendRing(p, own, inboxes)
+		var sendErr error
+		st.MessagesSent, st.BytesSent, sendErr = sendRing(p, own, ep, k)
+		if commErr == nil {
+			commErr = sendErr
+		}
 	})
 	if commErr != nil {
 		return commErr
@@ -114,12 +119,14 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 
 	// Phase 3b: local test rows × each arriving remote train shard.
 	for r := 1; r < k; r++ {
-		var in shard
+		var in Shard
 		var remote []*mps.MPS
 		var commErr error
 		st.CommTime += timed(func() {
-			in = <-inboxes[p]
-			remote, commErr = unmarshalShard(in, q.Config)
+			in, commErr = ep.Recv()
+			if commErr == nil {
+				remote, commErr = unmarshalShard(in, q.Config)
+			}
 		})
 		if commErr != nil {
 			return commErr
@@ -127,7 +134,7 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 		st.InnerTime += timed(func() {
 			pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
 				i := ownedTest[a]
-				for b, j := range in.indices {
+				for b, j := range in.Indices {
 					gram[i][j] = ws.Overlap(testStates[a], remote[b])
 					counts[a]++
 				}
@@ -144,9 +151,11 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 // states that are already resident on every process (a model's retained
 // handles): each process simulates only its test shard and fills its rows
 // against the full training set directly — no barrier, no ring exchange, no
-// simulated communication volume. Test shards are cost-balanced (balance.go)
+// communication on any transport. Test shards are cost-balanced (balance.go)
 // so a skewed inference batch does not serialise behind one process.
-func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, stats []ProcStats) error {
+// rowCosts (nil to skip) receives each owned test row's measured
+// materialisation wall-clock at its test-row index.
+func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, stats []ProcStats, rowCosts []time.Duration) error {
 	k := len(stats)
 	assign := costBalancedIndices(q.Ansatz, testX, k)
 	errs := make([]error, k)
@@ -155,26 +164,32 @@ func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS,
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k, assign[p])
+			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k, assign[p], rowCosts)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int, ownedTest []int) error {
+func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int, ownedTest []int, rowCosts []time.Duration) error {
 	if len(ownedTest) == 0 {
 		return nil
 	}
 	pl := procPool(q, k)
 
 	testStates := make([]*mps.MPS, len(ownedTest))
+	costs := make([]time.Duration, len(ownedTest))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = simulateOwned(q, testX, ownedTest, testStates, pl, st, "test")
+		simErr = simulateOwned(q, testX, ownedTest, testStates, pl, st, "test", costs)
 	})
 	if simErr != nil {
 		return simErr
+	}
+	if rowCosts != nil {
+		for a, i := range ownedTest {
+			rowCosts[i] = costs[a]
+		}
 	}
 
 	counts := make([]int, len(ownedTest))

@@ -6,15 +6,19 @@
 //
 //   - RoundRobin: states are sharded across processes; each process
 //     simulates only its shard and the shards are then exchanged through
-//     simulated messaging (serialised MPS payloads with per-message byte
-//     accounting) so every pairwise overlap is computed exactly once.
+//     messaging (serialised MPS payloads with per-message byte accounting)
+//     so every pairwise overlap is computed exactly once.
 //   - NoMessaging: Gram rows are sharded; each process redundantly
 //     simulates every state its rows touch and communicates nothing,
 //     trading simulation compute for zero communication volume.
 //
-// Both strategies produce Gram matrices identical (to floating-point
-// round-trip exactness) to the serial kernel.Gram path — the agreement is
-// enforced by the integration suite's six-path metamorphic test. Per-process
+// The strategies are written once against the pluggable Transport interface
+// (transport.go); which wire actually carries the shards — the zero-cost
+// in-process channels, the latency/bandwidth cost-modelled simulated network
+// or real loopback TCP sockets — is an Options choice. Every combination
+// produces Gram matrices identical to the serial kernel.Gram path — the
+// agreement is enforced by the metamorphic suite, with only the
+// instrumentation (CommTime, byte counts) allowed to differ. Per-process
 // instrumentation separates simulation, inner-product and communication
 // wall-clock so the Fig. 8 runtime breakdown can be reproduced faithfully.
 package dist
@@ -33,7 +37,7 @@ type Strategy int
 
 const (
 	// RoundRobin shards the states round-robin across processes and
-	// exchanges the shards through simulated messages.
+	// exchanges the shards through messages on the configured transport.
 	RoundRobin Strategy = iota
 	// NoMessaging shards the Gram rows and simulates redundantly instead of
 	// communicating.
@@ -65,6 +69,30 @@ func ParseStrategy(name string) (Strategy, error) {
 	}
 }
 
+// Options configures one distributed computation. The zero value is a
+// single-process round-robin run on the in-process channel wire.
+type Options struct {
+	// Procs is the number of distributed processes; 0 selects 1.
+	Procs int
+	// Strategy selects the distribution scheme for ComputeGram (inference
+	// always uses the round-robin exchange; see ComputeCross).
+	Strategy Strategy
+	// Transport is the wire carrying shard messages; nil selects
+	// ChanTransport. The Gram matrix is transport-independent — only the
+	// communication instrumentation changes.
+	Transport Transport
+}
+
+func (o Options) withDefaults() Options {
+	if o.Procs == 0 {
+		o.Procs = 1
+	}
+	if o.Transport == nil {
+		o.Transport = ChanTransport{}
+	}
+	return o
+}
+
 // ProcStats instruments one simulated process. Phase times are elapsed
 // wall-clock within the process's own timeline, so for every process
 // SimTime+InnerTime+CommTime ≤ the run's total Wall, and summed over all
@@ -83,7 +111,7 @@ type ProcStats struct {
 	// InnerProducts counts kernel entries (pairwise overlaps) computed by
 	// this process.
 	InnerProducts int
-	// MessagesSent counts simulated messages (one shard transfer each).
+	// MessagesSent counts messages (one shard transfer each) on the wire.
 	MessagesSent int
 	// BytesSent is the wire volume of those messages, including framing.
 	BytesSent int64
@@ -92,7 +120,8 @@ type ProcStats struct {
 	// InnerTime is the wall-clock spent computing overlaps.
 	InnerTime time.Duration
 	// CommTime is the wall-clock spent serialising, transferring and
-	// deserialising shards (plus waiting on in-flight messages).
+	// deserialising shards (plus waiting on in-flight messages — under
+	// SimTransport this includes the modelled wire time).
 	CommTime time.Duration
 }
 
@@ -111,6 +140,14 @@ type Result struct {
 	// the training set. Populated by ComputeGram (each process contributes
 	// its owned shard); nil for ComputeCross results.
 	States []*mps.MPS
+	// ObservedRowCosts is the measured per-row state-materialisation
+	// wall-clock, indexed like the input rows (ComputeGram) or the test
+	// rows (ComputeCrossStates) — the ground truth for calibrating
+	// EstimateRowCost online. Each entry is recorded by the rank that owns
+	// the row; a cache hit records the (tiny) lookup time rather than a
+	// simulation. Nil for ComputeCross, whose sharding mixes test and train
+	// materialisation in one timed phase.
+	ObservedRowCosts []time.Duration
 }
 
 // MaxPhaseTimes returns, per phase, the maximum wall-clock over processes —
@@ -131,7 +168,7 @@ func (r *Result) MaxPhaseTimes() (sim, inner, comm time.Duration) {
 	return sim, inner, comm
 }
 
-// TotalBytes sums the simulated communication volume over all processes.
+// TotalBytes sums the communication volume over all processes.
 func (r *Result) TotalBytes() int64 {
 	var b int64
 	for _, p := range r.Procs {
@@ -140,13 +177,24 @@ func (r *Result) TotalBytes() int64 {
 	return b
 }
 
-// TotalMessages sums the simulated message count over all processes.
+// TotalMessages sums the message count over all processes.
 func (r *Result) TotalMessages() int {
 	m := 0
 	for _, p := range r.Procs {
 		m += p.MessagesSent
 	}
 	return m
+}
+
+// TotalCommTime sums the communication wall-clock over all processes — the
+// aggregate wire time the cluster paid, as opposed to MaxPhaseTimes'
+// completion bound.
+func (r *Result) TotalCommTime() time.Duration {
+	var c time.Duration
+	for _, p := range r.Procs {
+		c += p.CommTime
+	}
+	return c
 }
 
 // TotalCacheHits sums the state-cache hits over all processes.
@@ -169,53 +217,58 @@ func (r *Result) TotalStatesSimulated() int {
 }
 
 // ComputeGram computes the symmetric training Gram matrix K_ij = |⟨ψ_i,ψ_j⟩|²
-// for X on procs simulated processes under the given strategy. The result
-// agrees with the serial kernel.Gram path entry for entry.
-func ComputeGram(q *kernel.Quantum, X [][]float64, procs int, strategy Strategy) (*Result, error) {
-	if err := validate(q, procs); err != nil {
+// for X across opts.Procs processes under opts.Strategy, exchanging shards
+// over opts.Transport. The result agrees with the serial kernel.Gram path
+// entry for entry regardless of strategy or transport.
+func ComputeGram(q *kernel.Quantum, X [][]float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validate(q, opts.Procs); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	n := len(X)
 	gram := square(n)
-	stats := newStats(procs)
+	stats := newStats(opts.Procs)
 	// retain collects each process's owned shard so the caller can keep the
 	// training-state handles (Result.States); ranks write disjoint indices.
+	// rowCosts likewise: only a row's owning rank records its cost.
 	retain := make([]*mps.MPS, n)
+	rowCosts := make([]time.Duration, n)
 	var err error
-	switch strategy {
+	switch opts.Strategy {
 	case RoundRobin:
 		// Shards are cost-balanced: rows are assigned by their predicted
 		// χ-based simulation cost instead of equal counts, so a skewed input
 		// cannot park all the heavy rows on one process (see balance.go).
-		err = runGramRoundRobin(q, X, gram, retain, stats, costBalancedIndices(q.Ansatz, X, procs))
+		err = runGramRoundRobin(q, X, gram, retain, stats, costBalancedIndices(q.Ansatz, X, opts.Procs), opts.Transport, rowCosts)
 	case NoMessaging:
-		err = runGramNoMessaging(q, X, gram, retain, stats)
+		err = runGramNoMessaging(q, X, gram, retain, stats, rowCosts)
 	default:
-		return nil, fmt.Errorf("dist: unknown strategy %v", strategy)
+		return nil, fmt.Errorf("dist: unknown strategy %v", opts.Strategy)
 	}
 	if err != nil {
 		return nil, err
 	}
 	mirror(gram)
-	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats, States: retain}, nil
+	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats, States: retain, ObservedRowCosts: rowCosts}, nil
 }
 
 // ComputeCross computes the rectangular inference kernel between test rows
-// and train rows on procs simulated processes. Test rows and train states
-// are both sharded round-robin; train shards are exchanged through simulated
-// messaging so each process fills the complete rows of its test shard.
-// Inference always uses the round-robin exchange — the paper's strategy
-// choice applies only to the training Gram computation, so a NoMessaging
-// training run will still report communication volume here.
-func ComputeCross(q *kernel.Quantum, testX, trainX [][]float64, procs int) (*Result, error) {
-	if err := validate(q, procs); err != nil {
+// and train rows across opts.Procs processes. Test rows and train states are
+// both sharded round-robin; train shards are exchanged over opts.Transport
+// so each process fills the complete rows of its test shard. Inference
+// always uses the round-robin exchange — the paper's strategy choice applies
+// only to the training Gram computation, so a NoMessaging training run will
+// still report communication volume here.
+func ComputeCross(q *kernel.Quantum, testX, trainX [][]float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validate(q, opts.Procs); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	gram := rect(len(testX), len(trainX))
-	stats := newStats(procs)
-	if err := runCrossRoundRobin(q, testX, trainX, gram, stats); err != nil {
+	stats := newStats(opts.Procs)
+	if err := runCrossRoundRobin(q, testX, trainX, gram, stats, opts.Transport); err != nil {
 		return nil, err
 	}
 	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
@@ -226,9 +279,10 @@ func ComputeCross(q *kernel.Quantum, testX, trainX [][]float64, procs int) (*Res
 // ComputeGram result. Only the test rows are simulated (consulting the
 // state cache when one is configured); the training side is already
 // resident on every process, so the exchange phase disappears entirely and
-// the computation is communication-free.
-func ComputeCrossStates(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, procs int) (*Result, error) {
-	if err := validate(q, procs); err != nil {
+// the computation is communication-free on every transport.
+func ComputeCrossStates(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validate(q, opts.Procs); err != nil {
 		return nil, err
 	}
 	for i, st := range trainStates {
@@ -244,11 +298,12 @@ func ComputeCrossStates(q *kernel.Quantum, testX [][]float64, trainStates []*mps
 	}
 	start := time.Now()
 	gram := rect(len(testX), len(trainStates))
-	stats := newStats(procs)
-	if err := runCrossLocal(q, testX, trainStates, gram, stats); err != nil {
+	stats := newStats(opts.Procs)
+	rowCosts := make([]time.Duration, len(testX))
+	if err := runCrossLocal(q, testX, trainStates, gram, stats, rowCosts); err != nil {
 		return nil, err
 	}
-	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil
+	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats, ObservedRowCosts: rowCosts}, nil
 }
 
 func validate(q *kernel.Quantum, procs int) error {

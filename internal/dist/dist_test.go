@@ -90,7 +90,7 @@ func TestGramAgreesWithSerial(t *testing.T) {
 	}
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
 		for _, k := range []int{1, 2, 5} {
-			res, err := ComputeGram(q, X, k, strat)
+			res, err := ComputeGram(q, X, Options{Procs: k, Strategy: strat})
 			if err != nil {
 				t.Fatalf("%v procs=%d: %v", strat, k, err)
 			}
@@ -112,7 +112,7 @@ func TestProcsExceedDataSize(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
-		res, err := ComputeGram(q, X, 5, strat)
+		res, err := ComputeGram(q, X, Options{Procs: 5, Strategy: strat})
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
@@ -132,7 +132,7 @@ func TestBytesAccounting(t *testing.T) {
 	X := testData(t, 9, 6)
 	q := testKernel(6)
 
-	nm, err := ComputeGram(q, X, 3, NoMessaging)
+	nm, err := ComputeGram(q, X, Options{Procs: 3, Strategy: NoMessaging})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestBytesAccounting(t *testing.T) {
 		t.Fatalf("no-messaging communicated: %d bytes, %d messages", nm.TotalBytes(), nm.TotalMessages())
 	}
 
-	rr, err := ComputeGram(q, X, 3, RoundRobin)
+	rr, err := ComputeGram(q, X, Options{Procs: 3, Strategy: RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestBytesAccounting(t *testing.T) {
 		t.Fatalf("round-robin on 3 procs sent %d messages, want 6", rr.TotalMessages())
 	}
 	// Single process: nothing to exchange.
-	solo, err := ComputeGram(q, X, 1, RoundRobin)
+	solo, err := ComputeGram(q, X, Options{Procs: 1, Strategy: RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestPhaseTimes(t *testing.T) {
 	X := testData(t, 10, 6)
 	q := testKernel(6)
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
-		res, err := ComputeGram(q, X, 3, strat)
+		res, err := ComputeGram(q, X, Options{Procs: 3, Strategy: strat})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +204,7 @@ func TestWorkAccounting(t *testing.T) {
 
 	totals := map[Strategy]int{}
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
-		res, err := ComputeGram(q, X, 4, strat)
+		res, err := ComputeGram(q, X, Options{Procs: 4, Strategy: strat})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,7 +235,7 @@ func TestComputeCrossAgreesWithSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range []int{1, 3, 6} {
-		res, err := ComputeCross(q, testRows, trainRows, k)
+		res, err := ComputeCross(q, testRows, trainRows, Options{Procs: k})
 		if err != nil {
 			t.Fatalf("procs=%d: %v", k, err)
 		}
@@ -253,19 +253,19 @@ func TestComputeCrossAgreesWithSerial(t *testing.T) {
 func TestValidation(t *testing.T) {
 	X := testData(t, 4, 6)
 	q := testKernel(6)
-	if _, err := ComputeGram(nil, X, 2, RoundRobin); err == nil {
+	if _, err := ComputeGram(nil, X, Options{Procs: 2, Strategy: RoundRobin}); err == nil {
 		t.Fatal("nil kernel must error")
 	}
-	if _, err := ComputeGram(q, X, 0, RoundRobin); err == nil {
-		t.Fatal("procs=0 must error")
+	if _, err := ComputeGram(q, X, Options{Procs: -2, Strategy: RoundRobin}); err == nil {
+		t.Fatal("negative procs must error")
 	}
-	if _, err := ComputeGram(q, X, 2, Strategy(42)); err == nil {
+	if _, err := ComputeGram(q, X, Options{Procs: 2, Strategy: Strategy(42)}); err == nil {
 		t.Fatal("unknown strategy must error")
 	}
-	if _, err := ComputeCross(nil, X, X, 2); err == nil {
+	if _, err := ComputeCross(nil, X, X, Options{Procs: 2}); err == nil {
 		t.Fatal("nil kernel must error on cross")
 	}
-	if _, err := ComputeCross(q, X, X, -1); err == nil {
+	if _, err := ComputeCross(q, X, X, Options{Procs: -1}); err == nil {
 		t.Fatal("negative procs must error on cross")
 	}
 }
@@ -279,28 +279,28 @@ func TestSimulationErrorsPropagate(t *testing.T) {
 	bad[3] = []float64{0.5} // wrong dimension for an 6-qubit ansatz
 	q := testKernel(6)
 	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
-		if _, err := ComputeGram(q, bad, 3, strat); err == nil {
+		if _, err := ComputeGram(q, bad, Options{Procs: 3, Strategy: strat}); err == nil {
 			t.Fatalf("%v: malformed row must error", strat)
 		}
 	}
-	if _, err := ComputeCross(q, bad, X, 3); err == nil {
+	if _, err := ComputeCross(q, bad, X, Options{Procs: 3}); err == nil {
 		t.Fatal("cross with malformed test row must error")
 	}
-	if _, err := ComputeCross(q, X, bad, 3); err == nil {
+	if _, err := ComputeCross(q, X, bad, Options{Procs: 3}); err == nil {
 		t.Fatal("cross with malformed train row must error")
 	}
 }
 
 func TestEmptyInput(t *testing.T) {
 	q := testKernel(6)
-	res, err := ComputeGram(q, nil, 2, RoundRobin)
+	res, err := ComputeGram(q, nil, Options{Procs: 2, Strategy: RoundRobin})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Gram) != 0 {
 		t.Fatalf("empty input produced %d rows", len(res.Gram))
 	}
-	cross, err := ComputeCross(q, nil, testData(t, 2, 6), 2)
+	cross, err := ComputeCross(q, nil, testData(t, 2, 6), Options{Procs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

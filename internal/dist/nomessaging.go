@@ -2,6 +2,7 @@ package dist
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
@@ -10,11 +11,13 @@ import (
 // runGramNoMessaging executes the no-messaging strategy: Gram rows are
 // sharded round-robin and every process independently materialises each
 // state its rows touch. No synchronisation or messaging is needed — the
-// processes never exchange anything. Without a state cache the overlap
-// ranges are simulated redundantly (the compute the strategy pays for its
-// silence); with a shared cache the in-flight deduplication collapses the
-// redundancy to one simulation per state cluster-wide.
-func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats) error {
+// processes never exchange anything, on any transport. Without a state cache
+// the overlap ranges are simulated redundantly (the compute the strategy
+// pays for its silence); with a shared cache the in-flight deduplication
+// collapses the redundancy to one simulation per state cluster-wide.
+// rowCosts (nil to skip) receives each owned row's measured materialisation
+// wall-clock at its global index.
+func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats, rowCosts []time.Duration) error {
 	k := len(stats)
 	errs := make([]error, k)
 	var wg sync.WaitGroup
@@ -22,14 +25,14 @@ func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, reta
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcNM(q, X, gram, retain, &stats[p], k)
+			errs[p] = gramProcNM(q, X, gram, retain, &stats[p], k, rowCosts)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, k int) error {
+func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, k int, rowCosts []time.Duration) error {
 	n := len(X)
 	p := st.Rank
 	owned := ownedIndices(n, k, p)
@@ -46,9 +49,10 @@ func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 		needed = append(needed, i)
 	}
 	local := make([]*mps.MPS, len(needed))
+	costs := make([]time.Duration, len(needed))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = simulateOwned(q, X, needed, local, pl, st, "")
+		simErr = simulateOwned(q, X, needed, local, pl, st, "", costs)
 	})
 	if simErr != nil {
 		return simErr
@@ -57,8 +61,21 @@ func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	for a, i := range needed {
 		states[i] = local[a]
 	}
+	// Only the owning rank reports a row: the redundant materialisations of
+	// other ranks' rows would race on the shared slices (and say nothing
+	// about the rows this rank is accountable for).
+	isOwned := make(map[int]bool, len(owned))
 	for _, i := range owned {
+		isOwned[i] = true
+	}
+	for a, i := range needed {
+		if !isOwned[i] {
+			continue
+		}
 		retain[i] = states[i]
+		if rowCosts != nil {
+			rowCosts[i] = costs[a]
+		}
 	}
 
 	// Phase 2: the upper triangle of the owned rows, diagonal included.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
@@ -107,12 +108,19 @@ func (pl pool) runErr(n int, f func(i int) error) error {
 
 // simulateOwned materialises the states for the owned global indices of X
 // through the cache-aware kernel path, writing them into dst (parallel to
-// owned) and recording per-process simulation/hit counts into st. Returns
-// the first error by owned position; label names the shard in errors.
-func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string) error {
+// owned) and recording per-process simulation/hit counts into st. costs
+// (parallel to owned; nil to skip) receives each state's measured
+// materialisation wall-clock — the per-row ground truth that calibrates
+// EstimateRowCost. Returns the first error by owned position; label names
+// the shard in errors.
+func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string, costs []time.Duration) error {
 	hits := make([]bool, len(owned))
 	err := pl.runErr(len(owned), func(a int) error {
+		t0 := time.Now()
 		s, hit, err := q.StateCached(X[owned[a]])
+		if costs != nil {
+			costs[a] = time.Since(t0)
+		}
 		if err != nil {
 			return simErrf(st.Rank, label, owned[a], err)
 		}

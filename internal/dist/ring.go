@@ -7,27 +7,34 @@ import (
 	"repro/internal/mps"
 )
 
-// Simulated wire framing: a shard message carries its origin rank and state
+// Shard wire framing: a shard message carries its origin rank and state
 // count, then one (global index, payload length, payload) record per state.
+// Every transport accounts (and TCPTransport literally writes) this layout.
 const (
 	shardHeaderBytes = 16
 	stateHeaderBytes = 16
 )
 
-// shard is one simulated message: the serialised MPS states of one process's
-// block, tagged with their global indices and origin rank. Because shards
-// are tagged, the receive order within the exchange phase is irrelevant —
-// exactly what makes the ring schedule deadlock-free on buffered inboxes.
-type shard struct {
-	from    int
-	indices []int
-	blobs   [][]byte
+// Shard is one message on the wire: the serialised MPS states of one
+// process's block, tagged with their global indices and origin rank. Because
+// shards are tagged, the receive order within an exchange phase is
+// irrelevant — exactly what makes the ring schedule deadlock-free on
+// buffered transports.
+type Shard struct {
+	// From is the sending rank.
+	From int
+	// Indices are the global row indices of the carried states; parallel to
+	// Blobs.
+	Indices []int
+	// Blobs are the mps.MarshalBinary payloads.
+	Blobs [][]byte
 }
 
-// wireBytes is the accounted size of the shard on the simulated wire.
-func (s shard) wireBytes() int64 {
+// WireBytes is the accounted size of the shard on the wire: the frame header
+// plus one record header and payload per state.
+func (s Shard) WireBytes() int64 {
 	b := int64(shardHeaderBytes)
-	for _, blob := range s.blobs {
+	for _, blob := range s.Blobs {
 		b += stateHeaderBytes + int64(len(blob))
 	}
 	return b
@@ -35,26 +42,26 @@ func (s shard) wireBytes() int64 {
 
 // marshalShard serialises a block of states for transfer. indices and states
 // run in parallel.
-func marshalShard(from int, indices []int, states []*mps.MPS) (shard, error) {
-	s := shard{from: from, indices: indices, blobs: make([][]byte, len(states))}
+func marshalShard(from int, indices []int, states []*mps.MPS) (Shard, error) {
+	s := Shard{From: from, Indices: indices, Blobs: make([][]byte, len(states))}
 	for a, st := range states {
 		blob, err := st.MarshalBinary()
 		if err != nil {
-			return shard{}, fmt.Errorf("dist: marshal state %d: %w", indices[a], err)
+			return Shard{}, fmt.Errorf("dist: marshal state %d: %w", indices[a], err)
 		}
-		s.blobs[a] = blob
+		s.Blobs[a] = blob
 	}
 	return s, nil
 }
 
 // unmarshalShard reconstructs the states of a received shard, attaching the
 // receiver's simulator configuration.
-func unmarshalShard(s shard, cfg mps.Config) ([]*mps.MPS, error) {
-	states := make([]*mps.MPS, len(s.blobs))
-	for a, blob := range s.blobs {
+func unmarshalShard(s Shard, cfg mps.Config) ([]*mps.MPS, error) {
+	states := make([]*mps.MPS, len(s.Blobs))
+	for a, blob := range s.Blobs {
 		st, err := mps.UnmarshalBinary(blob, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("dist: unmarshal state %d from proc %d: %w", s.indices[a], s.from, err)
+			return nil, fmt.Errorf("dist: unmarshal state %d from proc %d: %w", s.Indices[a], s.From, err)
 		}
 		states[a] = st
 	}
@@ -62,19 +69,28 @@ func unmarshalShard(s shard, cfg mps.Config) ([]*mps.MPS, error) {
 }
 
 // sendRing performs rank p's send side of the exchange: one copy of its
-// shard to every other process, walking the ring (p+1, p+2, …) so the
-// per-round destinations rotate as in the paper's round-robin schedule.
-// Inboxes are buffered to hold every message a process can receive, so
-// sends never block and a process that fails mid-exchange cannot deadlock
-// its peers. Returns the accounted messages and bytes.
-func sendRing(p int, s shard, inboxes []chan shard) (messages int, bytes int64) {
-	k := len(inboxes)
+// shard to every other rank, walking the ring (p+1, p+2, …) so the per-round
+// destinations rotate as in the paper's round-robin schedule. Transports
+// buffer every message a rank can receive, so sends do not block on slow
+// receivers. A failed send is recorded but does not abort the ring: peers
+// reachable over healthy links must still get their shard — stopping after
+// one broken link would starve every remaining receiver, not just the
+// unreachable one (whose own end of the broken link surfaces the failure).
+// Returns the accounted messages and bytes plus the first send error.
+func sendRing(p int, s Shard, ep Endpoint, k int) (messages int, bytes int64, err error) {
+	var firstErr error
 	for r := 1; r < k; r++ {
-		inboxes[(p+r)%k] <- s
+		b, sendErr := ep.Send((p+r)%k, s)
+		if sendErr != nil {
+			if firstErr == nil {
+				firstErr = sendErr
+			}
+			continue
+		}
 		messages++
-		bytes += s.wireBytes()
+		bytes += b
 	}
-	return messages, bytes
+	return messages, bytes, firstErr
 }
 
 // timed runs f and returns its elapsed wall-clock.

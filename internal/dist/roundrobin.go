@@ -3,24 +3,26 @@ package dist
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
 )
 
 // runGramRoundRobin executes the round-robin strategy: one goroutine per
-// simulated process, a simulation barrier, then the ring exchange of
-// serialised shards interleaved with the overlap computation. assign gives
+// process, a simulation barrier, then the ring exchange of serialised shards
+// over the transport interleaved with the overlap computation. assign gives
 // each rank's owned row indices (ascending); ComputeGram passes the
 // cost-balanced assignment, the balance tests also drive the naive one.
-func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats, assign [][]int) error {
+// rowCosts (nil to skip) receives each owned row's measured materialisation
+// wall-clock at its global index.
+func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats, assign [][]int, tr Transport, rowCosts []time.Duration) error {
 	k := len(stats)
-	inboxes := make([]chan shard, k)
-	for p := range inboxes {
-		// Capacity for every message a process can receive: senders never
-		// block, so no exchange schedule can deadlock.
-		inboxes[p] = make(chan shard, k)
+	net, err := tr.Network(k)
+	if err != nil {
+		return err
 	}
+	defer net.Close()
 	var simBarrier sync.WaitGroup
 	simBarrier.Add(k)
 	var failed atomic.Bool
@@ -30,15 +32,14 @@ func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retai
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], inboxes, &simBarrier, &failed, assign[p])
+			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], net.Endpoint(p), k, &simBarrier, &failed, assign[p], rowCosts)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, inboxes []chan shard, simBarrier *sync.WaitGroup, failed *atomic.Bool, owned []int) error {
-	k := len(inboxes)
+func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool, owned []int, rowCosts []time.Duration) error {
 	p := st.Rank
 	pl := procPool(q, k)
 
@@ -47,9 +48,10 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	// still fail simulation and leave its peers waiting on a shard that
 	// never arrives.
 	states := make([]*mps.MPS, len(owned))
+	costs := make([]time.Duration, len(owned))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = simulateOwned(q, X, owned, states, pl, st, "")
+		simErr = simulateOwned(q, X, owned, states, pl, st, "", costs)
 	})
 	if simErr != nil {
 		failed.Store(true)
@@ -64,20 +66,27 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	}
 	for a, i := range owned {
 		retain[i] = states[a]
+		if rowCosts != nil {
+			rowCosts[i] = costs[a]
+		}
 	}
 
 	// Phase 2: serialise the local shard once and send a copy to every
 	// other process around the ring. On a marshal failure the sends still
 	// complete (with an empty shard) so no peer blocks on a receive that
 	// would never arrive; the error is reported after.
-	var own shard
+	var own Shard
 	var commErr error
 	st.CommTime += timed(func() {
 		own, commErr = marshalShard(p, owned, states)
 		if commErr != nil {
-			own = shard{from: p}
+			own = Shard{From: p}
 		}
-		st.MessagesSent, st.BytesSent = sendRing(p, own, inboxes)
+		var sendErr error
+		st.MessagesSent, st.BytesSent, sendErr = sendRing(p, own, ep, k)
+		if commErr == nil {
+			commErr = sendErr
+		}
 	})
 	if commErr != nil {
 		return commErr
@@ -101,12 +110,14 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	// when this rank's shard reaches it, so every entry is computed exactly
 	// once cluster-wide.
 	for r := 1; r < k; r++ {
-		var in shard
+		var in Shard
 		var remote []*mps.MPS
 		var commErr error
 		st.CommTime += timed(func() {
-			in = <-inboxes[p]
-			remote, commErr = unmarshalShard(in, q.Config)
+			in, commErr = ep.Recv()
+			if commErr == nil {
+				remote, commErr = unmarshalShard(in, q.Config)
+			}
 		})
 		if commErr != nil {
 			return commErr
@@ -114,7 +125,7 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 		st.InnerTime += timed(func() {
 			pl.runWS(len(owned), func(ws *mps.Workspace, a int) {
 				i := owned[a]
-				for b, j := range in.indices {
+				for b, j := range in.Indices {
 					if j > i {
 						gram[i][j] = ws.Overlap(states[a], remote[b])
 						counts[a]++

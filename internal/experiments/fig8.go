@@ -26,6 +26,11 @@ type Fig8Params struct {
 	// double both, as in the paper's bars.
 	Steps []Fig8Step
 	Seed  int64
+	// Transport selects the wire the ring exchange runs over (nil = the
+	// zero-cost chan wire). With dist.SimTransport the comm bars reflect a
+	// parameterised network instead of a free one — the knob that makes the
+	// paper's messaging-vs-redundancy trade-off visible at laptop scale.
+	Transport dist.Transport
 }
 
 // Fig8Step is one bar of Fig. 8.
@@ -107,7 +112,9 @@ func RunFig8(p Fig8Params) (*Fig8Result, error) {
 		q := &kernel.Quantum{
 			Ansatz: circuit.Ansatz{Qubits: p.Qubits, Layers: p.Layers, Distance: p.Distance, Gamma: p.Gamma},
 		}
-		dres, err := dist.ComputeGram(q, scaled.X, step.Procs, dist.RoundRobin)
+		dres, err := dist.ComputeGram(q, scaled.X, dist.Options{
+			Procs: step.Procs, Strategy: dist.RoundRobin, Transport: p.Transport,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -142,6 +142,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("qkernel_statecache_bytes", "resident state-cache payload", float64(st.Cache.Bytes))
 	gauge("qkernel_statecache_budget_bytes", "configured state-cache budget", float64(st.Cache.Budget))
 	gauge("qkernel_statecache_entries", "resident state-cache entries", float64(st.Cache.Entries))
+	counter("qkernel_dist_computations_total", "distributed kernel computations run", float64(st.Comm.Computations))
+	counter("qkernel_dist_messages_total", "shard messages sent on the wire", float64(st.Comm.Messages))
+	counter("qkernel_dist_bytes_total", "framed shard bytes sent on the wire", float64(st.Comm.Bytes))
+	counter("qkernel_dist_comm_seconds_total", "summed per-process communication wall-clock", st.Comm.CommWall.Seconds())
+	fmt.Fprintf(&sb, "# HELP qkernel_dist_transport configured shard wire (value fixed at 1)\n# TYPE qkernel_dist_transport gauge\nqkernel_dist_transport{name=%q} 1\n", st.Comm.Transport)
 	_, _ = w.Write([]byte(sb.String()))
 }
 

@@ -110,6 +110,11 @@ type Stats struct {
 	PredictWall, WaitWall time.Duration
 	// Cache snapshots the framework's state cache (hit/latency counters).
 	Cache statecache.Stats
+	// Comm snapshots the framework's cumulative distributed-wire counters
+	// (transport name, messages, bytes, comm wall-clock) — zero message and
+	// byte counts are the signature of the communication-free retained-state
+	// inference path.
+	Comm core.CommStats
 	// Uptime is the time since New.
 	Uptime time.Duration
 }
@@ -248,6 +253,7 @@ func (s *Server) Stats() Stats {
 		PredictWall:  s.predictWall,
 		WaitWall:     s.waitWall,
 		Cache:        s.fw.CacheStats(),
+		Comm:         s.fw.CommStats(),
 		Uptime:       time.Since(s.start),
 	}
 }

@@ -269,10 +269,25 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"qkernel_serve_cross_calls_total 1",
 		"qkernel_statecache_misses_total",
 		"qkernel_statecache_compute_seconds_total",
+		"qkernel_dist_computations_total",
+		"qkernel_dist_bytes_total",
+		`qkernel_dist_transport{name="chan"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, text)
 		}
+	}
+
+	// /stats mirrors the same wire counters as JSON: the fit plus the
+	// warm-up batch ran distributed computations, and retained-state
+	// inference communicates nothing, so messages stay zero on the chan
+	// default.
+	st := getStats(t, ts.URL)
+	if st.Comm.Transport != "chan" {
+		t.Fatalf("stats transport %q, want chan", st.Comm.Transport)
+	}
+	if st.Comm.Computations == 0 {
+		t.Fatal("stats recorded no distributed computations after fit + predict")
 	}
 }
 
