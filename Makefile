@@ -5,9 +5,10 @@ BENCH_OUT := BENCH_$(DATE).json
 # The 1-iteration smoke subset: the distributed-Gram benchmarks this repo's
 # perf trajectory tracks, plus one simulator bench, one solver bench, the
 # cache/overlap-engine benches added with the state cache, the micro-batched
-# serving path (ns/op per coalesced row), and the transport ablation
-# (chan vs. sim vs. tcp-loopback wires under the same round-robin Gram).
-SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain|BenchmarkFitPredictRoundTrip|BenchmarkGramFromStates|BenchmarkServeBatch|BenchmarkGramTransport
+# serving path (ns/op per coalesced row), the transport ablation
+# (chan vs. sim vs. tcp-loopback wires under the same round-robin Gram), and
+# the fused gate-engine bench (serial + parallel backends).
+SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|BenchmarkFig5SimulationSerial|BenchmarkSVMTrain|BenchmarkFitPredictRoundTrip|BenchmarkGramFromStates|BenchmarkServeBatch|BenchmarkGramTransport|BenchmarkApplyCircuit
 
 # The committed perf baseline: the newest BENCH_<date>.json tracked by git.
 # bench-check reads the blob from HEAD (not the working tree), so a fresh

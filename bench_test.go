@@ -406,6 +406,50 @@ func BenchmarkAblationCanonicalization(b *testing.B) {
 	}
 }
 
+// --- Zero-realloc gate engine -----------------------------------------------
+
+// BenchmarkApplyCircuit isolates the gate-application hot path the fused
+// engine rebuilt: one routed feature-map circuit applied to a fresh state,
+// with the simulation workspace reused across iterations exactly as the
+// kernel's worker loops reuse it across rows. ns/op is the cost of a full
+// state materialisation minus circuit construction; allocs/op measures how
+// close the engine runs to its zero-realloc steady state (site buffers are
+// per-state, so a handful of allocations per site remain).
+func BenchmarkApplyCircuit(b *testing.B) {
+	a := circuit.Ansatz{Qubits: 24, Layers: 2, Distance: 3, Gamma: 1.0}
+	x := benchData(b, 1, 24)[0]
+	c, err := a.BuildRouted(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		be   func() backend.Backend
+	}{
+		{"serial", func() backend.Backend { return backend.NewSerial() }},
+		{"parallel", func() backend.Backend { return backend.NewParallel(0) }},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			be := cfg.be()
+			ws := mps.NewSimWorkspace()
+			b.ResetTimer()
+			b.ReportAllocs()
+			var chi int
+			for i := 0; i < b.N; i++ {
+				st := mps.NewZeroState(a.Qubits, mps.Config{Backend: be})
+				st.AttachWorkspace(ws)
+				if err := st.ApplyCircuit(c); err != nil {
+					b.Fatal(err)
+				}
+				st.DetachWorkspace()
+				chi = st.MaxBond()
+			}
+			b.ReportMetric(float64(chi), "χ")
+		})
+	}
+}
+
 // --- State cache & zero-realloc overlap engine ------------------------------
 
 // BenchmarkFitPredictRoundTrip measures the full train→infer pipeline cold

@@ -36,8 +36,17 @@ type Backend interface {
 	Name() string
 	// MatMul computes a·b.
 	MatMul(a, b *linalg.Matrix) *linalg.Matrix
+	// MatMulInto computes dst = a·b into the caller's reusable buffer —
+	// the zero-realloc contraction primitive of the MPS gate engine.
+	// Results are bit-identical to MatMul on every backend.
+	MatMulInto(dst, a, b *linalg.Matrix) *linalg.Matrix
 	// SVD computes a thin singular value decomposition.
 	SVD(m *linalg.Matrix) linalg.SVDResult
+	// SVDTrunc computes a thin SVD through the workspace-backed truncation
+	// path (QR-preconditioned / Gram-accelerated, see linalg.SVDTrunc).
+	// The returned factors alias ws and are valid until its next use.
+	// Results are bit-identical across backends for the same input.
+	SVDTrunc(ws *linalg.Workspace, m *linalg.Matrix) linalg.SVDResult
 	// QR computes a thin QR decomposition.
 	QR(m *linalg.Matrix) (q, r *linalg.Matrix)
 	// Stats exposes the instrumentation counters.

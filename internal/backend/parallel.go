@@ -75,6 +75,31 @@ func (p *Parallel) MatMul(a, b *linalg.Matrix) *linalg.Matrix {
 	return c
 }
 
+// MatMulInto implements Backend: the same dispatch latency as MatMul, with
+// row blocks spread over the pool. Row partitioning keeps each output row's
+// accumulation order serial, so results match the serial backend bit for bit.
+func (p *Parallel) MatMulInto(dst, a, b *linalg.Matrix) *linalg.Matrix {
+	t0 := time.Now()
+	p.dispatch()
+	c := linalg.MatMulIntoParallel(dst, a, b, p.workers)
+	p.stats.MatMulOps.Add(1)
+	p.stats.MatMulNanos.Add(time.Since(t0).Nanoseconds())
+	return c
+}
+
+// SVDTrunc implements Backend: the workspace-backed truncation SVD with the
+// dense products (Gram formation, A·V, Householder updates) fanned over the
+// pool. linalg.SVDTrunc partitions only independent row/column blocks, so
+// the decomposition is bit-identical to the serial backend's.
+func (p *Parallel) SVDTrunc(ws *linalg.Workspace, m *linalg.Matrix) linalg.SVDResult {
+	t0 := time.Now()
+	p.dispatch()
+	r := linalg.SVDTrunc(ws, m, p.workers)
+	p.stats.SVDOps.Add(1)
+	p.stats.SVDNanos.Add(time.Since(t0).Nanoseconds())
+	return r
+}
+
 // SVD implements Backend with tournament-parallel Jacobi sweeps.
 func (p *Parallel) SVD(m *linalg.Matrix) linalg.SVDResult {
 	t0 := time.Now()

@@ -28,6 +28,24 @@ func (s *Serial) MatMul(a, b *linalg.Matrix) *linalg.Matrix {
 	return c
 }
 
+// MatMulInto implements Backend with the single-threaded in-place kernel.
+func (s *Serial) MatMulInto(dst, a, b *linalg.Matrix) *linalg.Matrix {
+	t0 := time.Now()
+	c := linalg.MatMulInto(dst, a, b)
+	s.stats.MatMulOps.Add(1)
+	s.stats.MatMulNanos.Add(time.Since(t0).Nanoseconds())
+	return c
+}
+
+// SVDTrunc implements Backend with the serial workspace-backed path.
+func (s *Serial) SVDTrunc(ws *linalg.Workspace, m *linalg.Matrix) linalg.SVDResult {
+	t0 := time.Now()
+	r := linalg.SVDTrunc(ws, m, 1)
+	s.stats.SVDOps.Add(1)
+	s.stats.SVDNanos.Add(time.Since(t0).Nanoseconds())
+	return r
+}
+
 // SVD implements Backend using serial one-sided Jacobi.
 func (s *Serial) SVD(m *linalg.Matrix) linalg.SVDResult {
 	t0 := time.Now()

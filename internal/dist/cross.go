@@ -54,9 +54,9 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	hits := make([]bool, nt+len(ownedTrain))
 	var simErr error
 	st.SimTime = timed(func() {
-		simErr = pl.runErr(nt+len(ownedTrain), func(a int) error {
+		simErr = pl.runErrSim(nt+len(ownedTrain), func(sw *mps.SimWorkspace, a int) error {
 			if a < nt {
-				s, hit, err := q.StateCached(testX[ownedTest[a]])
+				s, hit, err := q.StateCachedWS(testX[ownedTest[a]], sw)
 				if err != nil {
 					return simErrf(p, "test", ownedTest[a], err)
 				}
@@ -64,7 +64,7 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 				return nil
 			}
 			b := a - nt
-			s, hit, err := q.StateCached(trainX[ownedTrain[b]])
+			s, hit, err := q.StateCachedWS(trainX[ownedTrain[b]], sw)
 			if err != nil {
 				return simErrf(p, "train", ownedTrain[b], err)
 			}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/mps"
+)
+
+// TestEngineMetamorphicGramRelations is the metamorphic safety net for the
+// fused zero-realloc gate engine and its Gram-accelerated truncation SVD
+// (cf. the bit-identical transport × strategy relations): the Gram produced
+// through the new kernels must
+//
+//  1. stay exactly symmetric with a unit diagonal (up to truncation noise),
+//  2. remain positive semidefinite,
+//  3. match the pre-change path — reproduced by Config.ReferenceKernels,
+//     which pins the original generic contractions and plain Jacobi SVD —
+//     within 1e-10 elementwise, and
+//  4. stay bit-identical across transport × strategy combinations, all
+//     equal to the serial kernel.Gram under the same engine.
+func TestEngineMetamorphicGramRelations(t *testing.T) {
+	X := testData(t, 12, 6)
+	q := testKernel(6)
+	gram, err := q.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Relation 1: symmetry and unit diagonal.
+	n := len(gram)
+	for i := 0; i < n; i++ {
+		if d := math.Abs(gram[i][i] - 1); d > 1e-10 {
+			t.Fatalf("diagonal entry (%d,%d) = %v, want 1 within 1e-10", i, i, gram[i][i])
+		}
+		for j := i + 1; j < n; j++ {
+			if gram[i][j] != gram[j][i] {
+				t.Fatalf("Gram not symmetric at (%d,%d): %v vs %v", i, j, gram[i][j], gram[j][i])
+			}
+			if gram[i][j] < 0 || gram[i][j] > 1+1e-10 {
+				t.Fatalf("overlap (%d,%d) = %v outside [0,1]", i, j, gram[i][j])
+			}
+		}
+	}
+
+	// Relation 2: positive semidefiniteness.
+	gm := linalg.NewMatrix(n, n)
+	for i := range gram {
+		for j, v := range gram[i] {
+			gm.Set(i, j, complex(v, 0))
+		}
+	}
+	minEig, err := linalg.MinEigenvalueHermitian(gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minEig < -1e-8 {
+		t.Fatalf("engine Gram lost positive semidefiniteness: min eigenvalue %v", minEig)
+	}
+
+	// Relation 3: elementwise agreement with the pre-change reference
+	// engine within 1e-10.
+	qRef := &kernel.Quantum{
+		Ansatz: q.Ansatz,
+		Config: mps.Config{ReferenceKernels: true},
+	}
+	ref, err := qRef.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		for j := range ref[i] {
+			if d := math.Abs(gram[i][j] - ref[i][j]); d > 1e-10 {
+				t.Fatalf("engine deviates from reference path at (%d,%d): %v vs %v (Δ=%v)",
+					i, j, gram[i][j], ref[i][j], d)
+			}
+		}
+	}
+
+	// Relation 4: transport × strategy combinations stay bit-identical to
+	// the serial Gram under the new engine (the full matrix of combinations
+	// is exercised by TestTransportsProduceBitIdenticalGram; one combo per
+	// strategy here keeps the relation local to this suite).
+	for _, strat := range []Strategy{RoundRobin, NoMessaging} {
+		res, err := ComputeGram(q, X, Options{Procs: 3, Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		for i := range gram {
+			for j := range gram[i] {
+				if res.Gram[i][j] != gram[i][j] {
+					t.Fatalf("%v: entry (%d,%d) = %v, serial %v (must be bit-identical)",
+						strat, i, j, res.Gram[i][j], gram[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestReferenceKernelsFingerprintDistinct: the reference-path flag enters
+// the simulation fingerprint, so cached states can never leak between the
+// two engines.
+func TestReferenceKernelsFingerprintDistinct(t *testing.T) {
+	a := circuit.Ansatz{Qubits: 6, Layers: 2, Distance: 2, Gamma: 0.7}
+	fast := &kernel.Quantum{Ansatz: a}
+	ref := &kernel.Quantum{Ansatz: a, Config: mps.Config{ReferenceKernels: true}}
+	if fast.Fingerprint() == ref.Fingerprint() {
+		t.Fatal("reference and fused engines share a cache fingerprint")
+	}
+}

@@ -20,6 +20,10 @@ type pool struct {
 	// round-robin Gram makes one call per ring step; re-warming buffers
 	// each step would forfeit the zero-realloc property).
 	ws []*mps.Workspace
+	// sim holds one gate-engine workspace per worker slot, threaded through
+	// the shard materialisation loops so cache misses simulate through
+	// warmed zero-realloc buffers.
+	sim []*mps.SimWorkspace
 }
 
 // procPool sizes a process's worker pool: the k simulated processes share
@@ -35,7 +39,7 @@ func procPool(q *kernel.Quantum, k int) pool {
 	if w < 1 {
 		w = 1
 	}
-	return pool{workers: w, ws: make([]*mps.Workspace, w)}
+	return pool{workers: w, ws: make([]*mps.Workspace, w), sim: make([]*mps.SimWorkspace, w)}
 }
 
 // workspace returns worker slot g's reusable workspace. runWS calls never
@@ -51,10 +55,22 @@ func (pl pool) workspace(g int) *mps.Workspace {
 	return pl.ws[g]
 }
 
+// simWorkspace returns worker slot g's reusable gate-engine workspace,
+// under the same single-goroutine-per-slot discipline as workspace.
+func (pl pool) simWorkspace(g int) *mps.SimWorkspace {
+	if pl.sim == nil {
+		return mps.NewSimWorkspace()
+	}
+	if pl.sim[g] == nil {
+		pl.sim[g] = mps.NewSimWorkspace()
+	}
+	return pl.sim[g]
+}
+
 // run invokes f(i) for every i in [0,n), spreading the calls over the pool's
 // workers. It returns once all calls have completed.
 func (pl pool) run(n int, f func(i int)) {
-	pl.runWS(n, func(_ *mps.Workspace, i int) { f(i) })
+	pl.runSlot(n, func(_, i int) { f(i) })
 }
 
 // runWS is run with a private overlap workspace per worker goroutine, so
@@ -62,6 +78,13 @@ func (pl pool) run(n int, f func(i int)) {
 // pair. Workspaces are created lazily-cheap (buffers grow on first use), so
 // run simply delegates here for non-overlap work.
 func (pl pool) runWS(n int, f func(ws *mps.Workspace, i int)) {
+	pl.runSlot(n, func(slot, i int) { f(pl.workspace(slot), i) })
+}
+
+// runSlot is the scheduling core: f(slot, i) for every i in [0,n), where
+// slot identifies the worker goroutine so callers can attach per-worker
+// scratch (overlap or simulation workspaces) to it.
+func (pl pool) runSlot(n int, f func(slot, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -70,9 +93,8 @@ func (pl pool) runWS(n int, f func(ws *mps.Workspace, i int)) {
 		w = n
 	}
 	if w <= 1 {
-		ws := pl.workspace(0)
 		for i := 0; i < n; i++ {
-			f(ws, i)
+			f(0, i)
 		}
 		return
 	}
@@ -83,13 +105,12 @@ func (pl pool) runWS(n int, f func(ws *mps.Workspace, i int)) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			ws := pl.workspace(g)
 			for {
 				i := next.Add(1)
 				if i >= int64(n) {
 					return
 				}
-				f(ws, int(i))
+				f(g, int(i))
 			}
 		}(g)
 	}
@@ -106,6 +127,16 @@ func (pl pool) runErr(n int, f func(i int) error) error {
 	return firstError(errs)
 }
 
+// runErrSim is runErr with the worker's private simulation workspace handed
+// to each task — the materialisation loops' analogue of runWS.
+func (pl pool) runErrSim(n int, f func(sw *mps.SimWorkspace, i int) error) error {
+	errs := make([]error, n)
+	pl.runSlot(n, func(slot, i int) {
+		errs[i] = f(pl.simWorkspace(slot), i)
+	})
+	return firstError(errs)
+}
+
 // simulateOwned materialises the states for the owned global indices of X
 // through the cache-aware kernel path, writing them into dst (parallel to
 // owned) and recording per-process simulation/hit counts into st. costs
@@ -115,9 +146,9 @@ func (pl pool) runErr(n int, f func(i int) error) error {
 // the shard in errors.
 func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string, costs []time.Duration) error {
 	hits := make([]bool, len(owned))
-	err := pl.runErr(len(owned), func(a int) error {
+	err := pl.runErrSim(len(owned), func(sw *mps.SimWorkspace, a int) error {
 		t0 := time.Now()
-		s, hit, err := q.StateCached(X[owned[a]])
+		s, hit, err := q.StateCachedWS(X[owned[a]], sw)
 		if costs != nil {
 			costs[a] = time.Since(t0)
 		}

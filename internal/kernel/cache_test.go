@@ -185,3 +185,26 @@ func TestGramCrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulatedStatesAreCompacted: states produced through the simulation
+// pipeline (and thus eligible for cache residency / model retention) must
+// carry no grow-only slack capacity — the engine's peak-bond buffers are
+// trimmed before a state escapes, so the cache's MemoryBytes-based byte
+// budget charges exactly the heap the state holds alive.
+func TestSimulatedStatesAreCompacted(t *testing.T) {
+	q := cachedQuantum(8)
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 0.2 + 1.6*rng.Float64()
+	}
+	st, err := q.State(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range st.Sites {
+		if cap(s.Data) != len(s.Data) {
+			t.Fatalf("cached state site %d retains slack capacity: cap %d, len %d", i, cap(s.Data), len(s.Data))
+		}
+	}
+}

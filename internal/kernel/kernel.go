@@ -66,22 +66,33 @@ func (q *Quantum) Fingerprint() string {
 		tb = mps.DefaultTruncationBudget
 	}
 	a := q.Ansatz
-	return fmt.Sprintf("ansatz:%d/%d/%d/%x|cfg:%s/%x/%d/%t/%t/%t",
+	return fmt.Sprintf("ansatz:%d/%d/%d/%x|cfg:%s/%x/%d/%t/%t/%t/%t",
 		a.Qubits, a.Layers, a.Distance, math.Float64bits(a.Gamma),
 		be, math.Float64bits(tb), q.Config.MaxBond,
-		q.Config.Renormalize, q.Config.RecordMemory, q.Config.SkipCanonicalization)
+		q.Config.Renormalize, q.Config.RecordMemory, q.Config.SkipCanonicalization,
+		q.Config.ReferenceKernels)
 }
 
 // simulate runs the feature-map circuit for one data point unconditionally.
-func (q *Quantum) simulate(x []float64) (*mps.MPS, error) {
+// sw, when non-nil, is the caller-owned gate-engine workspace threaded
+// through the simulation so buffers warmed by earlier rows are reused; it is
+// detached before the state is returned (and possibly shared via the cache).
+func (q *Quantum) simulate(x []float64, sw *mps.SimWorkspace) (*mps.MPS, error) {
 	c, err := q.Ansatz.BuildRouted(x)
 	if err != nil {
 		return nil, err
 	}
 	st := mps.NewZeroState(q.Ansatz.Qubits, q.Config)
-	if err := st.ApplyCircuit(c); err != nil {
+	st.AttachWorkspace(sw)
+	err = st.ApplyCircuit(c)
+	st.DetachWorkspace()
+	if err != nil {
 		return nil, err
 	}
+	// The finished state outlives the simulation (cache residency, model
+	// retention): trim the engine's grow-only site buffers so byte-budget
+	// accounting matches the heap actually held alive.
+	st.CompactSites()
 	return st, nil
 }
 
@@ -99,12 +110,21 @@ func (q *Quantum) State(x []float64) (*mps.MPS, error) {
 // cache deduplicates in-flight work). With no cache configured it always
 // simulates and reports a miss.
 func (q *Quantum) StateCached(x []float64) (st *mps.MPS, hit bool, err error) {
+	return q.StateCachedWS(x, nil)
+}
+
+// StateCachedWS is StateCached with a caller-owned simulation workspace:
+// worker goroutines that materialise many rows (kernel.States, the dist
+// strategies' shard loops) pass their per-worker workspace so cache misses
+// simulate through warmed buffers. A nil workspace lets the state allocate
+// its own.
+func (q *Quantum) StateCachedWS(x []float64, sw *mps.SimWorkspace) (st *mps.MPS, hit bool, err error) {
 	if q.Cache == nil {
-		st, err = q.simulate(x)
+		st, err = q.simulate(x, sw)
 		return st, false, err
 	}
 	key := statecache.KeyFor(q.Fingerprint(), x)
-	return q.Cache.GetOrCompute(key, func() (*mps.MPS, error) { return q.simulate(x) })
+	return q.Cache.GetOrCompute(key, func() (*mps.MPS, error) { return q.simulate(x, sw) })
 }
 
 // States simulates every row of X on a bounded worker pool — the
@@ -119,8 +139,9 @@ func (q *Quantum) States(X [][]float64) ([]*mps.MPS, error) {
 		w = len(X)
 	}
 	if w <= 1 {
+		sw := mps.NewSimWorkspace()
 		for i := range X {
-			states[i], _, errs[i] = q.StateCached(X[i])
+			states[i], _, errs[i] = q.StateCachedWS(X[i], sw)
 		}
 	} else {
 		var next atomic.Int64
@@ -130,12 +151,13 @@ func (q *Quantum) States(X [][]float64) ([]*mps.MPS, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				sw := mps.NewSimWorkspace()
 				for {
 					i := int(next.Add(1))
 					if i >= len(X) {
 						return
 					}
-					states[i], _, errs[i] = q.StateCached(X[i])
+					states[i], _, errs[i] = q.StateCachedWS(X[i], sw)
 				}
 			}()
 		}

@@ -37,6 +37,15 @@ func MatMulSerial(a, b *Matrix) *Matrix {
 func MatMulParallel(a, b *Matrix, workers int) *Matrix {
 	checkMulShapes(a, b)
 	c := NewMatrix(a.Rows, b.Cols)
+	mulRowsParallel(a, b, c, workers)
+	return c
+}
+
+// mulRowsParallel fills c = a·b, splitting row blocks over up to workers
+// goroutines; each row is produced whole by the serial kernel, so the result
+// is bit-for-bit independent of the worker count. The single scheduling body
+// behind MatMulParallel and the workspace kernels.
+func mulRowsParallel(a, b, c *Matrix, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -45,7 +54,7 @@ func MatMulParallel(a, b *Matrix, workers int) *Matrix {
 	}
 	if workers <= 1 {
 		mulRows(a, b, c, 0, a.Rows)
-		return c
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (a.Rows + workers - 1) / workers
@@ -65,7 +74,6 @@ func MatMulParallel(a, b *Matrix, workers int) *Matrix {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return c
 }
 
 // mulRows computes rows [lo, hi) of c = a·b with an ikj loop order so the
@@ -127,6 +135,15 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 	dst.Reuse(a.Rows, b.Cols)
 	mulRows(a, b, dst, 0, a.Rows)
 	return dst
+}
+
+// MatMulIntoParallel is MatMulInto with row blocks distributed over up to
+// workers goroutines. Each output row is produced whole by one goroutine
+// running the serial kernel, so results are bit-for-bit identical to
+// MatMulInto for any worker count. Small products fall back to the serial
+// kernel to avoid scheduling overhead.
+func MatMulIntoParallel(dst, a, b *Matrix, workers int) *Matrix {
+	return mulIntoWorkers(dst, a, b, workers)
 }
 
 // MatMulAdjAInto computes dst = aᴴ·b without materialising the adjoint,

@@ -1,7 +1,6 @@
 package linalg
 
 import (
-	"math"
 	"math/cmplx"
 	"sync"
 )
@@ -28,75 +27,12 @@ func QRParallel(a *Matrix, workers int) (q, r *Matrix) {
 	return qrHouseholder(a, workers)
 }
 
+// qrHouseholder delegates to the workspace implementation (QRInto holds the
+// single copy of the reflector arithmetic); a throwaway workspace's factors
+// are freshly allocated, so the caller owns them.
 func qrHouseholder(a *Matrix, workers int) (q, r *Matrix) {
-	m, n := a.Rows, a.Cols
-	k := m
-	if n < k {
-		k = n
-	}
-	// work holds the in-progress R; vs holds the Householder vectors, each
-	// padded to length m with zeros above its pivot row.
-	work := a.Clone()
-	vs := make([][]complex128, 0, k)
-	betas := make([]float64, 0, k)
-
-	for j := 0; j < k; j++ {
-		// Build the reflector annihilating work[j+1:, j].
-		v := make([]complex128, m)
-		var colNorm float64
-		for i := j; i < m; i++ {
-			v[i] = work.At(i, j)
-			colNorm += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
-		}
-		colNorm = math.Sqrt(colNorm)
-		if colNorm == 0 {
-			vs = append(vs, v)
-			betas = append(betas, 0)
-			continue
-		}
-		// alpha = -phase(v[j]) * ||x||, so v[j] - alpha never cancels.
-		phase := complex(1, 0)
-		if cmplx.Abs(v[j]) > 0 {
-			phase = v[j] / complex(cmplx.Abs(v[j]), 0)
-		}
-		alpha := -phase * complex(colNorm, 0)
-		v[j] -= alpha
-		var vnorm2 float64
-		for i := j; i < m; i++ {
-			vnorm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
-		}
-		var beta float64
-		if vnorm2 > 0 {
-			beta = 2 / vnorm2
-		}
-		vs = append(vs, v)
-		betas = append(betas, beta)
-		if beta == 0 {
-			continue
-		}
-		// Apply H = I − β v v† to work[:, j:].
-		applyHouseholder(work, v, beta, j, workers)
-	}
-
-	r = NewMatrix(k, n)
-	for i := 0; i < k; i++ {
-		for j := i; j < n; j++ {
-			r.Set(i, j, work.At(i, j))
-		}
-	}
-
-	// Form thin Q: apply reflectors in reverse to the first k identity columns.
-	q = NewMatrix(m, k)
-	for j := 0; j < k; j++ {
-		q.Set(j, j, 1)
-	}
-	for idx := len(vs) - 1; idx >= 0; idx-- {
-		if betas[idx] == 0 {
-			continue
-		}
-		applyHouseholder(q, vs[idx], betas[idx], idx, workers)
-	}
-	return q, r
+	var ws Workspace
+	return QRInto(&ws, a, workers)
 }
 
 // qrParallelThreshold is the per-reflector work (rows × cols) above which

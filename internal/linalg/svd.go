@@ -3,7 +3,6 @@ package linalg
 import (
 	"math"
 	"math/cmplx"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -61,67 +60,11 @@ func svdJacobi(a *Matrix, workers int) SVDResult {
 		r := svdJacobi(a.ConjTranspose(), workers)
 		return SVDResult{U: r.V, S: r.S, V: r.U}
 	}
-
-	// Work in column-major form: cols[j] is column j of the evolving A, and
-	// vrows[j] is column j of the accumulated V. Keeping columns contiguous
-	// makes the rotation kernel stream linearly through memory.
-	cols := make([][]complex128, n)
-	vcols := make([][]complex128, n)
-	for j := 0; j < n; j++ {
-		cols[j] = make([]complex128, m)
-		for i := 0; i < m; i++ {
-			cols[j][i] = a.Data[i*n+j]
-		}
-		vcols[j] = make([]complex128, n)
-		vcols[j][j] = 1
-	}
-
-	if workers == 1 || n < 4 {
-		svdSweepsSerial(cols, vcols)
-	} else {
-		svdSweepsParallel(cols, vcols, workers)
-	}
-
-	// Extract singular values (column norms) and sort descending.
-	type sv struct {
-		sigma float64
-		idx   int
-	}
-	svs := make([]sv, n)
-	for j := 0; j < n; j++ {
-		svs[j] = sv{sigma: colNorm(cols[j]), idx: j}
-	}
-	sort.Slice(svs, func(i, j int) bool { return svs[i].sigma > svs[j].sigma })
-
-	u := NewMatrix(m, n)
-	v := NewMatrix(n, n)
-	s := make([]float64, n)
-	sigMax := svs[0].sigma
-	nullTol := sigMax * 1e-300
-	if sigMax == 0 {
-		nullTol = 0
-	}
-	var nullCols []int
-	for jj, e := range svs {
-		s[jj] = e.sigma
-		src := cols[e.idx]
-		vsrc := vcols[e.idx]
-		if e.sigma > nullTol && e.sigma > 0 {
-			inv := complex(1/e.sigma, 0)
-			for i := 0; i < m; i++ {
-				u.Data[i*n+jj] = src[i] * inv
-			}
-		} else {
-			nullCols = append(nullCols, jj)
-		}
-		for i := 0; i < n; i++ {
-			v.Data[i*n+jj] = vsrc[i]
-		}
-	}
-	if len(nullCols) > 0 {
-		completeOrthonormal(u, nullCols)
-	}
-	return SVDResult{U: u, S: s, V: v}
+	// svdJacobiWS holds the single copy of the column-Jacobi machinery; a
+	// throwaway workspace's factors are freshly allocated, so the caller
+	// owns them.
+	var ws Workspace
+	return svdJacobiWS(&ws, a, workers)
 }
 
 func svdSweepsSerial(cols, vcols [][]complex128) {
@@ -327,6 +270,314 @@ func completeOrthonormal(u *Matrix, nulls []int) {
 			}
 		}
 	}
+}
+
+// jacobiFallbackDim is the largest small dimension routed to the pooled
+// one-sided Jacobi fallback of SVDTrunc; blocks this thin have at most one
+// column pair per sweep, so the Gram machinery would cost more than it saves.
+const jacobiFallbackDim = 2
+
+// qrPrecondAspect is the aspect ratio (rows/cols after orienting tall)
+// beyond which SVDTrunc QR-preconditions: a single thin QR collapses a
+// strongly rectangular block to its small square R factor, and every later
+// stage — Gram formation, eigensolve, re-orthonormalisation — runs at the
+// small dimension.
+const qrPrecondAspect = 2
+
+// SVDTrunc computes a thin SVD through the workspace-backed truncation path
+// used by the MPS gate engine. The decomposition contract matches SVD (thin
+// factors, S descending), but the factors alias workspace storage — valid
+// only until the next workspace-backed call — and the algorithm is selected
+// by aspect ratio:
+//
+//   - min(m,n) ≤ 2: pooled-buffer one-sided Jacobi (the classic path, with
+//     the workspace's flat column storage replacing per-call slice-of-slices);
+//   - aspect ≥ qrPrecondAspect: thin QR first, then the Gram stage on the
+//     small square R, with U recovered as Q·U_R;
+//   - otherwise: the Gram stage directly — form G = A†A, Jacobi-eigensolve
+//     it for V and σ² = λ, then re-orthonormalise U through a thin QR of A·V
+//     (so U is Householder-orthonormal regardless of how small the trailing
+//     singular values are).
+//
+// The Gram stage squares the condition number, so trailing singular values
+// below ~√ε·σ_max carry absolute (not relative) accuracy — exactly the
+// regime the MPS truncation budget discards, which is why this trade is safe
+// on the gate hot path while the fully accurate SVD remains available for
+// spectrum-sensitive callers. Results are bit-identical for any workers
+// value: parallelism only splits independent row/column blocks.
+func SVDTrunc(ws *Workspace, a *Matrix, workers int) SVDResult {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return SVDResult{U: NewMatrix(m, 0), S: nil, V: NewMatrix(n, 0)}
+	}
+	if m < n {
+		// SVD(a†) = V Σ U†  ⇒  swap the factors.
+		conjTransposeInto(&ws.adj, a)
+		r := svdTruncTall(ws, &ws.adj, workers)
+		return SVDResult{U: r.V, S: r.S, V: r.U}
+	}
+	return svdTruncTall(ws, a, workers)
+}
+
+// svdTruncTall handles the m ≥ n orientation of SVDTrunc.
+func svdTruncTall(ws *Workspace, a *Matrix, workers int) SVDResult {
+	m, n := a.Rows, a.Cols
+	if n <= jacobiFallbackDim {
+		return svdJacobiWS(ws, a, 1)
+	}
+	if m >= qrPrecondAspect*n {
+		// Precondition: a = Q1·R1, then SVD the n×n R1 and lift U.
+		q1, r1 := QRInto(ws, a, workers)
+		ws.precQ.Reuse(q1.Rows, q1.Cols)
+		copy(ws.precQ.Data, q1.Data)
+		res := gramSVD(ws, r1, workers)
+		// Final U = Q1 · U_R; bmat is free again after the Gram stage.
+		u := mulIntoWorkers(&ws.bmat, &ws.precQ, res.U, workers)
+		return SVDResult{U: u, S: res.S, V: res.V}
+	}
+	return gramSVD(ws, a, workers)
+}
+
+// gramSVD is the core Gram-accelerated stage for m ≥ n: eigendecompose
+// G = A†A for V and σ, then recover an exactly-orthonormal U from a thin QR
+// of B = A·V (B's columns are orthogonal with norms σ by construction, so R
+// is diagonal up to the eigensolve tolerance; the diagonal phases transfer
+// onto Q's columns).
+func gramSVD(ws *Workspace, a *Matrix, workers int) SVDResult {
+	m, n := a.Rows, a.Cols
+	adjAIntoWorkers(&ws.gram, a, a, workers)
+	g := &ws.gram
+	// Symmetrise exactly: A†A is Hermitian up to round-off, and the Jacobi
+	// rotations assume it exactly.
+	for i := 0; i < n; i++ {
+		g.Data[i*n+i] = complex(real(g.Data[i*n+i]), 0)
+		for j := i + 1; j < n; j++ {
+			avg := (g.Data[i*n+j] + cmplx.Conj(g.Data[j*n+i])) / 2
+			g.Data[i*n+j] = avg
+			g.Data[j*n+i] = cmplx.Conj(avg)
+		}
+	}
+	jacobiEigPSD(ws)
+
+	// Sort eigenpairs descending into V's columns (the accumulator holds
+	// eigenvector j in row j, so this transposes as it sorts).
+	vals := growF(&ws.evals, n)
+	idx := growI(&ws.eidx, n)
+	for i := 0; i < n; i++ {
+		vals[i] = real(g.Data[i*n+i])
+		idx[i] = i
+	}
+	insertionSortDesc(vals, idx)
+	v := ws.vmat.Reuse(n, n)
+	for jj, src := range idx {
+		row := ws.eigV.Data[src*n : (src+1)*n]
+		for i := 0; i < n; i++ {
+			v.Data[i*n+jj] = row[i]
+		}
+	}
+
+	// B = A·V, then thin QR re-orthonormalises U. The singular values are
+	// read off R's diagonal rather than as √λ: the Gram eigenvalues carry
+	// only ~√ε·σ_max absolute accuracy (squaring loses the bottom half of
+	// the spectrum), which would inflate the trailing values to noise the
+	// MPS truncation budget can no longer discard — whereas R's diagonal is
+	// computed from A's columns directly and recovers ~ε·σ_max absolute
+	// accuracy, keeping the discarded-weight arithmetic at full precision.
+	mulIntoWorkers(&ws.bmat, a, v, workers)
+	q2, r2 := QRInto(ws, &ws.bmat, workers)
+	s := growF(&ws.sval, n)
+	u := ws.uout.Reuse(m, n)
+	for j := 0; j < n; j++ {
+		d := r2.Data[j*n+j]
+		ab := cmplx.Abs(d)
+		s[j] = ab
+		ph := complex(1, 0)
+		if ab > 0 {
+			ph = d / complex(ab, 0)
+		}
+		for i := 0; i < m; i++ {
+			u.Data[i*n+j] = q2.Data[i*n+j] * ph
+		}
+	}
+	return SVDResult{U: u, S: s, V: v}
+}
+
+// jacobiEigPSD diagonalises the Hermitian PSD matrix held in ws.gram in
+// place with two-sided Jacobi rotations, accumulating eigenvectors into
+// ws.eigV with eigenvector j stored in ROW j (so every update streams
+// contiguously). Unlike EigHermitian it assumes hermiticity (the caller
+// builds A†A) and exploits it per rotation: only rows p and q are rotated
+// (contiguous), the 2×2 pivot block is set from the closed forms, and
+// columns p and q are restored as conjugate mirrors of the fresh rows —
+// roughly a third fewer flops than the generic similarity update and no
+// strided arithmetic. Stops as soon as a sweep applies no rotation.
+func jacobiEigPSD(ws *Workspace) {
+	g := &ws.gram
+	n := g.Rows
+	vt := ws.eigV.Reuse(n, n)
+	for i := 0; i < n; i++ {
+		vt.Data[i*n+i] = 1
+	}
+	scale := g.MaxAbs()
+	if scale == 0 {
+		return
+	}
+	thresh2 := (1e-16 * scale) * (1e-16 * scale)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			gp := g.Data[p*n : (p+1)*n]
+			for q := p + 1; q < n; q++ {
+				apq := gp[q]
+				re, im := real(apq), imag(apq)
+				mag2 := re*re + im*im
+				if mag2 <= thresh2 {
+					continue
+				}
+				mag := math.Sqrt(mag2)
+				app := real(gp[p])
+				aqq := real(g.Data[q*n+q])
+				e := complex(re/mag, -im/mag) // e^{−iφ} = conj(apq)/|apq|
+				tau := (aqq - app) / (2 * mag)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				cc, ss := complex(c, 0), complex(s, 0)
+				ec := cmplx.Conj(e)
+
+				// Rows p, q ← J†·(rows of W): contiguous streams.
+				gq := g.Data[q*n : (q+1)*n]
+				ca, cb := ss*ec, cc*ec
+				for j := 0; j < n; j++ {
+					wp, wq := gp[j], gq[j]
+					gp[j] = cc*wp - ca*wq
+					gq[j] = ss*wp + cb*wq
+				}
+				// Pivot block from the closed forms (exact annihilation).
+				tmag := t * mag
+				gp[p] = complex(app-tmag, 0)
+				gq[q] = complex(aqq+tmag, 0)
+				gp[q] = 0
+				gq[p] = 0
+				// Columns p, q ← conjugate mirror of the fresh rows.
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					row := g.Data[i*n : (i+1)*n]
+					wp, wq := gp[i], gq[i]
+					row[p] = complex(real(wp), -imag(wp))
+					row[q] = complex(real(wq), -imag(wq))
+				}
+				// Eigenvector rows (V ← V·J in transposed storage).
+				vp := vt.Data[p*n : (p+1)*n]
+				vq := vt.Data[q*n : (q+1)*n]
+				va, vb := ss*e, cc*e
+				for j := 0; j < n; j++ {
+					a, b := vp[j], vq[j]
+					vp[j] = cc*a - va*b
+					vq[j] = ss*a + vb*b
+				}
+				rotated = true
+			}
+		}
+		if !rotated {
+			return
+		}
+	}
+}
+
+// insertionSortDesc sorts idx so vals[idx[i]] is descending, without
+// allocating (the eigen blocks are small enough that O(n²) is negligible
+// next to the O(n³) eigensolve it follows).
+func insertionSortDesc(vals []float64, idx []int) {
+	for i := 1; i < len(idx); i++ {
+		cur := idx[i]
+		key := vals[cur]
+		j := i - 1
+		for j >= 0 && vals[idx[j]] < key {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = cur
+	}
+}
+
+// svdJacobiWS is the one-sided Jacobi core (the only copy — SVD/SVDParallel
+// delegate here through a throwaway workspace): column storage, V
+// accumulation and outputs all live in grow-only workspace buffers, which is
+// what lets SVDTrunc's small-block fallback run allocation-free. Requires
+// m ≥ n. With workers > 1 and enough columns, sweeps run the tournament-
+// parallel schedule (numerically different rotations, same decomposition) —
+// SVDTrunc's fallback only reaches this with n ≤ jacobiFallbackDim < 4,
+// which always takes the serial schedule, preserving its any-worker-count
+// bit-identity.
+func svdJacobiWS(ws *Workspace, a *Matrix, workers int) SVDResult {
+	m, n := a.Rows, a.Cols
+	colsFlat := growC(&ws.colsFlat, m*n)
+	vcolsFlat := growC(&ws.vcolsFlat, n*n)
+	if cap(ws.cols) < n {
+		ws.cols = make([][]complex128, n)
+		ws.vcols = make([][]complex128, n)
+	}
+	cols := ws.cols[:n]
+	vcols := ws.vcols[:n]
+	for j := 0; j < n; j++ {
+		cols[j] = colsFlat[j*m : (j+1)*m]
+		vcols[j] = vcolsFlat[j*n : (j+1)*n]
+		for i := 0; i < m; i++ {
+			cols[j][i] = a.Data[i*n+j]
+		}
+		for i := 0; i < n; i++ {
+			vcols[j][i] = 0
+		}
+		vcols[j][j] = 1
+	}
+	if workers == 1 || n < 4 {
+		svdSweepsSerial(cols, vcols)
+	} else {
+		svdSweepsParallel(cols, vcols, workers)
+	}
+
+	vals := growF(&ws.evals, n)
+	idx := growI(&ws.eidx, n)
+	for j := 0; j < n; j++ {
+		vals[j] = colNorm(cols[j])
+		idx[j] = j
+	}
+	insertionSortDesc(vals, idx)
+
+	u := ws.jacU.Reuse(m, n)
+	v := ws.jacV.Reuse(n, n)
+	s := growF(&ws.jacS, n)
+	sigMax := vals[idx[0]]
+	nullTol := sigMax * 1e-300
+	var nullCols []int
+	for jj, src := range idx {
+		sigma := vals[src]
+		s[jj] = sigma
+		if sigma > nullTol && sigma > 0 {
+			inv := complex(1/sigma, 0)
+			for i := 0; i < m; i++ {
+				u.Data[i*n+jj] = cols[src][i] * inv
+			}
+		} else {
+			nullCols = append(nullCols, jj)
+		}
+		for i := 0; i < n; i++ {
+			v.Data[i*n+jj] = vcols[src][i]
+		}
+	}
+	if len(nullCols) > 0 {
+		completeOrthonormal(u, nullCols)
+	}
+	return SVDResult{U: u, S: s, V: v}
 }
 
 // Rank returns the number of singular values above tol·S[0]. A zero matrix

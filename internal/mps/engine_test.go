@@ -1,0 +1,277 @@
+package mps
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// engineAnsatz is a mid-size feature map exercising every engine path:
+// single-qubit runs (H then RZ per layer), reversed-order two-qubit gates
+// (routing SWAPs) and centre moves in both directions.
+var engineAnsatz = circuit.Ansatz{Qubits: 8, Layers: 2, Distance: 3, Gamma: 0.8}
+
+// TestFusedEngineMatchesReference is the core equivalence property: the
+// fused zero-realloc engine and the pre-fusion reference path (generic
+// contractions, plain Jacobi SVD, allocating canonicalisation) must produce
+// the same quantum state to tight tolerance — amplitudes, bond structure and
+// truncation accounting.
+func TestFusedEngineMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randomData(rng, engineAnsatz.Qubits)
+	c, err := engineAnsatz.BuildRouted(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewZeroState(engineAnsatz.Qubits, Config{})
+	if err := fast.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewZeroState(engineAnsatz.Qubits, Config{ReferenceKernels: true})
+	if err := ref.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	// Global-phase-insensitive state comparison: |⟨ref|fast⟩|² ≈ 1.
+	ov := Overlap(ref, fast)
+	if d := ov - 1; d > 1e-10 || d < -1e-10 {
+		t.Fatalf("fused engine state deviates from reference: overlap %v", ov)
+	}
+	if fm, rm := fast.MaxBond(), ref.MaxBond(); fm > rm+1 || rm > fm+1 {
+		t.Fatalf("bond dims diverged: fused χ=%d, reference χ=%d", fm, rm)
+	}
+	if err := fast.CheckCanonical(1e-9); err != nil {
+		t.Fatalf("fused engine broke canonical form: %v", err)
+	}
+	if te := fast.TruncationError; te < 0 || te > 1e-10 {
+		t.Fatalf("fused engine truncation error %v outside noiseless regime", te)
+	}
+}
+
+// TestEngineFlippedGateMatchesReference pins the cached swapQubitOrder
+// buffer: a two-qubit gate listed (high, low) must act identically on both
+// paths, including when single-qubit gates were folded into it.
+func TestEngineFlippedGateMatchesReference(t *testing.T) {
+	build := func(cfg Config) *MPS {
+		m := NewZeroState(3, cfg)
+		c := circuit.New(3)
+		c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{1}, Mat: gates.H()})
+		c.MustAppend(circuit.Gate{Name: "RY", Qubits: []int{2}, Mat: gates.RY(0.4)})
+		// Reversed qubit order: listed (high, low).
+		c.MustAppend(circuit.Gate{Name: "CX", Qubits: []int{2, 1}, Mat: gates.CX()})
+		c.MustAppend(circuit.Gate{Name: "RZ", Qubits: []int{1}, Mat: gates.RZ(0.9)})
+		c.MustAppend(circuit.Gate{Name: "RXX", Qubits: []int{0, 1}, Mat: gates.RXX(1.1)})
+		if err := m.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fast := build(Config{})
+	ref := build(Config{ReferenceKernels: true})
+	for idx, want := range ref.ToStateVector() {
+		got := fast.ToStateVector()[idx]
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Fatalf("amplitude %d: fused %v, reference %v", idx, got, want)
+		}
+	}
+}
+
+// TestApplyCircuitFusionMatchesPerGate: the gate-fused ApplyCircuit and a
+// gate-by-gate ApplyGate loop are the same circuit, so the states must agree
+// to rounding; the gates-applied counter must count logical gates on both.
+func TestApplyCircuitFusionMatchesPerGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomData(rng, engineAnsatz.Qubits)
+	c, err := engineAnsatz.BuildRouted(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := NewZeroState(engineAnsatz.Qubits, Config{})
+	if err := fused.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	perGate := NewZeroState(engineAnsatz.Qubits, Config{})
+	for i, g := range c.Gates {
+		if err := perGate.ApplyGate(g); err != nil {
+			t.Fatalf("gate %d: %v", i, err)
+		}
+	}
+	if ov := Overlap(fused, perGate); ov < 1-1e-10 {
+		t.Fatalf("fusion changed the state: overlap %v", ov)
+	}
+	if fused.GatesApplied() != len(c.Gates) || perGate.GatesApplied() != len(c.Gates) {
+		t.Fatalf("gate counters diverged: fused %d, per-gate %d, circuit %d",
+			fused.GatesApplied(), perGate.GatesApplied(), len(c.Gates))
+	}
+}
+
+// TestApply2ZeroAllocSteadyState is the tentpole's acceptance assertion:
+// once the workspace and site buffers are warm, a two-qubit gate application
+// (centre move + merge + fused gate + truncation SVD + split) performs zero
+// heap allocations.
+func TestApply2ZeroAllocSteadyState(t *testing.T) {
+	m := NewZeroState(6, Config{})
+	ws := NewSimWorkspace()
+	m.AttachWorkspace(ws)
+	g := circuit.Gate{Name: "RXX", Qubits: []int{2, 3}, Mat: gates.RXX(0.7)}
+	g2 := circuit.Gate{Name: "RXX", Qubits: []int{3, 4}, Mat: gates.RXX(0.3)}
+	// Warm up: let bonds and buffers reach steady state.
+	for i := 0; i < 12; i++ {
+		if err := m.ApplyGate(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ApplyGate(g2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.ApplyGate(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ApplyGate(g2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state apply2 performed %v allocations per gate pair, want 0", allocs)
+	}
+}
+
+// TestApply1ZeroAlloc: the in-place single-qubit path never touches the heap,
+// warm or cold.
+func TestApply1ZeroAlloc(t *testing.T) {
+	m := NewZeroState(4, Config{})
+	g := circuit.Gate{Name: "H", Qubits: []int{1}, Mat: gates.H()}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.ApplyGate(g); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("apply1 performed %v allocations, want 0", allocs)
+	}
+}
+
+// TestWorkspaceSharedAcrossStates: one warmed workspace threaded through
+// many state simulations (the kernel.States / dist usage pattern) must not
+// leak state between simulations.
+func TestWorkspaceSharedAcrossStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ws := NewSimWorkspace()
+	for trial := 0; trial < 4; trial++ {
+		x := randomData(rng, engineAnsatz.Qubits)
+		c, err := engineAnsatz.BuildRouted(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := NewZeroState(engineAnsatz.Qubits, Config{})
+		shared.AttachWorkspace(ws)
+		if err := shared.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		shared.DetachWorkspace()
+		fresh := NewZeroState(engineAnsatz.Qubits, Config{})
+		if err := fresh.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		if ov := Overlap(shared, fresh); ov < 1-1e-12 {
+			t.Fatalf("trial %d: shared-workspace state deviates, overlap %v", trial, ov)
+		}
+	}
+}
+
+// TestCompactSitesExactCapacity: after compaction every site's backing
+// array is exactly its payload (so byte-budgeted cache accounting via
+// MemoryBytes matches retained heap), and the state is unchanged.
+func TestCompactSitesExactCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := randomData(rng, engineAnsatz.Qubits)
+	m := buildAnsatzMPS(t, engineAnsatz, x, Config{})
+	ref := m.Clone()
+	grown := false
+	for _, s := range m.Sites {
+		if cap(s.Data) > len(s.Data) {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Log("no site retained slack capacity; compaction still verified as a no-op")
+	}
+	m.CompactSites()
+	for i, s := range m.Sites {
+		if cap(s.Data) != len(s.Data) {
+			t.Fatalf("site %d: cap %d != len %d after CompactSites", i, cap(s.Data), len(s.Data))
+		}
+	}
+	if ov := Overlap(m, ref); ov < 1-1e-12 {
+		t.Fatalf("CompactSites changed the state: overlap %v", ov)
+	}
+}
+
+// TestReadCloneDoesNotMutateOriginal: observable queries work on borrowed
+// shallow clones; the original's site payloads must be bit-identical before
+// and after, even when the query moves the centre.
+func TestReadCloneDoesNotMutateOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomData(rng, engineAnsatz.Qubits)
+	m := buildAnsatzMPS(t, engineAnsatz, x, Config{})
+	before := make([][]complex128, m.N)
+	for i, s := range m.Sites {
+		before[i] = append([]complex128(nil), s.Data...)
+	}
+	if _, err := m.TwoSiteRDM(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReducedDensityMatrix(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SchmidtValues(3); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range m.Sites {
+		if len(s.Data) != len(before[i]) {
+			t.Fatalf("site %d payload resized by observable query", i)
+		}
+		for j := range s.Data {
+			if s.Data[j] != before[i][j] {
+				t.Fatalf("site %d entry %d mutated by observable query", i, j)
+			}
+		}
+	}
+}
+
+// TestTwoSiteRDMAllocsRegression is the satellite's regression guard: with
+// the shallow read-clone, TwoSiteRDM's allocation count must be flat in the
+// qubit count — it pays for the one canonicalisation step and the local
+// contraction, never for cloning the whole chain (the old full m.Clone()
+// paid ~3 allocations per site before the contraction even started).
+func TestTwoSiteRDMAllocsRegression(t *testing.T) {
+	measure := func(n int) float64 {
+		m := NewZeroState(n, Config{})
+		c := circuit.New(n)
+		for q := 0; q < n; q++ {
+			c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{q}, Mat: gates.H()})
+		}
+		c.MustAppend(circuit.Gate{Name: "RXX", Qubits: []int{0, 1}, Mat: gates.RXX(0.9)})
+		if err := m.ApplyCircuit(c); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := m.TwoSiteRDM(0, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(16), measure(64)
+	// The query structure (one centre move, adjacent pair at the edge) is
+	// identical at both sizes; 48 extra qubits must not add allocations.
+	// The deep-clone implementation grew by ≥3 allocations per extra site.
+	if large > small+8 {
+		t.Fatalf("TwoSiteRDM allocations scale with qubit count: %v at n=16 vs %v at n=64 (want flat)", small, large)
+	}
+	if large > 200 {
+		t.Fatalf("TwoSiteRDM performs %v allocations, want a small constant", large)
+	}
+}

@@ -55,6 +55,13 @@ type Config struct {
 	// longer a guaranteed bound. Observable queries (RDMs, Schmidt values)
 	// transparently re-canonicalise a clone first, so they remain correct.
 	SkipCanonicalization bool
+	// ReferenceKernels routes gate application through the original generic
+	// contraction chain (ContractWith → Transpose → Matricize), the plain
+	// one-sided Jacobi SVD and allocating canonicalisation, and disables
+	// single-qubit gate fusion in ApplyCircuit. Provided for metamorphic
+	// testing and ablation: the fused zero-realloc engine must agree with
+	// this path to tight tolerance on every observable.
+	ReferenceKernels bool
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +103,15 @@ type MPS struct {
 	Ledger []MemSample
 
 	gatesApplied int
+
+	// ws is the gate engine's scratch workspace, created lazily on first
+	// gate application or attached by the simulating worker
+	// (AttachWorkspace) so warmed buffers carry across states.
+	ws *SimWorkspace
+	// borrowed marks a shallow read-clone whose site tensors are shared
+	// with the original: canonicalisation on it must build fresh tensors
+	// (the allocating path) instead of mutating site buffers in place.
+	borrowed bool
 }
 
 // NewZeroState returns |0…0⟩ on n qubits: every site is the (1,2,1) tensor
@@ -131,6 +147,24 @@ func (m *MPS) Clone() *MPS {
 		c.Sites[i] = s.Clone()
 	}
 	c.Ledger = append([]MemSample(nil), m.Ledger...)
+	return c
+}
+
+// readClone returns a shallow clone sharing site tensors with m, for
+// observable queries that only need to move the orthogonality centre on a
+// scratch copy. Unlike Clone it copies no tensor payloads: the clone is
+// marked borrowed, which routes canonicalisation through the allocating
+// path (fresh tensors per step, shared buffers never mutated), so the
+// original — possibly resident in a shared state cache — is untouched.
+// Gates must not be applied to a read-clone.
+func (m *MPS) readClone() *MPS {
+	c := &MPS{
+		N: m.N, cfg: m.cfg, center: m.center, canonical: m.canonical,
+		TruncationError: m.TruncationError,
+		gatesApplied:    m.gatesApplied,
+		borrowed:        true,
+	}
+	c.Sites = append([]*tensor.Tensor(nil), m.Sites...)
 	return c
 }
 
@@ -183,8 +217,14 @@ func (m *MPS) ApplyGate(g circuit.Gate) error {
 		}
 		mat := g.Mat
 		if d == 1 {
-			// Gate lists (high, low); reorder the basis to (low, high).
-			mat = swapQubitOrder(g.Mat)
+			// Gate lists (high, low); reorder the basis to (low, high) —
+			// into the workspace's cached buffer on the engine path, so no
+			// fresh matrix is allocated per reversed-order gate.
+			if m.engineActive() {
+				mat = swapQubitOrderInto(&m.workspace().swap, g.Mat)
+			} else {
+				mat = swapQubitOrder(g.Mat)
+			}
 			a, b = b, a
 		}
 		m.apply2(mat, a)
@@ -202,23 +242,103 @@ func (m *MPS) ApplyGate(g circuit.Gate) error {
 	return nil
 }
 
-// ApplyCircuit applies every gate of c in order.
+// ApplyCircuit applies every gate of c in order. On the fused engine path
+// (the default), runs of single-qubit gates on the same qubit are coalesced
+// into one 2×2 product and single-qubit gates adjacent to a two-qubit gate
+// are folded into its 4×4 matrix, reducing the number of site updates and
+// SVD+canonicalisation events per circuit. Fusion is legal because a
+// delayed single-qubit gate commutes with every gate on other qubits; it is
+// disabled when per-gate observability is required (RecordMemory's ledger)
+// or when ReferenceKernels pins the pre-fusion semantics.
 func (m *MPS) ApplyCircuit(c *circuit.Circuit) error {
 	if c.NumQubits != m.N {
 		return fmt.Errorf("mps: circuit on %d qubits applied to %d-qubit state", c.NumQubits, m.N)
 	}
+	if m.cfg.RecordMemory || !m.engineActive() {
+		for i, g := range c.Gates {
+			if err := m.ApplyGate(g); err != nil {
+				return fmt.Errorf("mps: gate %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	ws := m.workspace()
+	ws.ensurePending(m.N)
 	for i, g := range c.Gates {
-		if err := m.ApplyGate(g); err != nil {
+		if err := g.Validate(m.N); err != nil {
+			m.flushPending(ws)
 			return fmt.Errorf("mps: gate %d: %w", i, err)
 		}
+		switch len(g.Qubits) {
+		case 1:
+			q := g.Qubits[0]
+			p := ws.pending[4*q : 4*q+4]
+			if ws.has[q] {
+				var tmp [4]complex128
+				mul2x2(tmp[:], g.Mat.Data, p)
+				copy(p, tmp[:])
+			} else {
+				copy(p, g.Mat.Data)
+				ws.has[q] = true
+			}
+		case 2:
+			a, b := g.Qubits[0], g.Qubits[1]
+			if d := a - b; d != 1 && d != -1 {
+				m.flushPending(ws)
+				return fmt.Errorf("mps: gate %d: two-qubit gate %q on non-adjacent qubits %d,%d (route the circuit first)", i, g.Name, a, b)
+			}
+			mat := g.Mat
+			if ws.has[a] || ws.has[b] {
+				var pa, pb []complex128
+				if ws.has[a] {
+					pa = ws.pending[4*a : 4*a+4]
+				}
+				if ws.has[b] {
+					pb = ws.pending[4*b : 4*b+4]
+				}
+				mat = foldInto(&ws.fold, mat, pa, pb)
+				ws.has[a], ws.has[b] = false, false
+			}
+			if a > b {
+				mat = swapQubitOrderInto(&ws.swap, mat)
+				a = b
+			}
+			m.apply2(mat, a)
+		}
+		m.gatesApplied++
 	}
+	m.flushPending(ws)
 	return nil
+}
+
+// flushPending applies every accumulated single-qubit gate (they were
+// already counted when encountered).
+func (m *MPS) flushPending(ws *SimWorkspace) {
+	for q := 0; q < m.N && q < len(ws.has); q++ {
+		if ws.has[q] {
+			apply1InPlace(m.Sites[q], ws.pending[4*q:4*q+4])
+			ws.has[q] = false
+		}
+	}
+}
+
+// engineActive reports whether the fused zero-realloc engine handles this
+// state's gates: the reference path is pinned by config, and borrowed
+// read-clones must never mutate shared site buffers in place.
+func (m *MPS) engineActive() bool {
+	return !m.cfg.ReferenceKernels && !m.borrowed
 }
 
 // apply1 contracts a single-qubit gate with the site tensor (Fig. 1a). A
 // unitary acting on the physical bond preserves canonical form, so the
-// centre is untouched.
+// centre is untouched. The engine path mixes the two physical slabs of the
+// site buffer in place; the reference path keeps the original generic
+// contraction.
 func (m *MPS) apply1(g *linalg.Matrix, q int) {
+	if m.engineActive() {
+		apply1InPlace(m.Sites[q], g.Data)
+		return
+	}
 	site := m.Sites[q] // (l, 2, r)
 	gt := tensor.FromData(g.Data, 2, 2)
 	// out[l, r, s_out] = Σ_s site[l, s, r] · g[s_out, s]
@@ -229,8 +349,14 @@ func (m *MPS) apply1(g *linalg.Matrix, q int) {
 // apply2 applies a two-qubit gate on sites (q, q+1) with the matrix in
 // (low, high) basis order (Fig. 1b): move the centre to q, merge the two
 // sites, contract with the gate, SVD, truncate against the budget, and split
-// back, leaving the centre at q+1.
+// back, leaving the centre at q+1. The engine path (apply2Engine) fuses the
+// merge/gate/matricize chain and reuses workspace and site buffers; this
+// reference path materialises every intermediate.
 func (m *MPS) apply2(g *linalg.Matrix, q int) {
+	if m.engineActive() {
+		m.apply2Engine(g, q)
+		return
+	}
 	if m.cfg.SkipCanonicalization {
 		m.canonical = false
 	} else {
@@ -309,8 +435,15 @@ func (m *MPS) truncationCut(s []float64) (int, float64) {
 
 // moveCenterTo shifts the orthogonality centre to site q using QR (moving
 // right) and LQ (moving left) — the canonicalisation step the paper applies
-// before each SVD truncation.
+// before each SVD truncation. The engine path holds the Householder factors
+// in the workspace and rewrites site buffers in place; the reference path
+// (also used by borrowed read-clones, which must not mutate shared tensors)
+// builds fresh tensors per step.
 func (m *MPS) moveCenterTo(q int) {
+	if m.engineActive() {
+		m.moveCenterToEngine(q)
+		return
+	}
 	for m.center < q {
 		i := m.center
 		site := m.Sites[i] // (l,2,r)
@@ -344,16 +477,11 @@ func (m *MPS) ensureCanonical() {
 	m.moveCenterTo(m.N - 1)
 }
 
-// swapQubitOrder reorders a 4×4 two-qubit matrix from basis |ab⟩ to |ba⟩.
+// swapQubitOrder reorders a 4×4 two-qubit matrix from basis |ab⟩ to |ba⟩
+// into a fresh matrix (the engine path reuses a workspace buffer through
+// swapQubitOrderInto, the single source of the permutation).
 func swapQubitOrder(g *linalg.Matrix) *linalg.Matrix {
-	perm := [4]int{0, 2, 1, 3}
-	out := linalg.NewMatrix(4, 4)
-	for i := 0; i < 4; i++ {
-		for j := 0; j < 4; j++ {
-			out.Set(perm[i], perm[j], g.At(i, j))
-		}
-	}
-	return out
+	return swapQubitOrderInto(linalg.NewMatrix(4, 4), g)
 }
 
 // Norm returns ‖ψ‖; 1 for unitary circuits up to truncation error.

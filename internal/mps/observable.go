@@ -45,7 +45,7 @@ func (m *MPS) ReducedDensityMatrix(q int) (*linalg.Matrix, error) {
 	if q < 0 || q >= m.N {
 		return nil, fmt.Errorf("mps: RDM qubit %d outside [0,%d)", q, m.N)
 	}
-	c := m.Clone()
+	c := m.readClone()
 	c.ensureCanonical()
 	c.moveCenterTo(q)
 	site := c.Sites[q] // (l, 2, r)
@@ -78,7 +78,7 @@ func (m *MPS) SchmidtValues(cut int) ([]float64, error) {
 	if cut < 0 || cut >= m.N-1 {
 		return nil, fmt.Errorf("mps: cut %d outside [0,%d)", cut, m.N-1)
 	}
-	c := m.Clone()
+	c := m.readClone()
 	c.ensureCanonical()
 	c.moveCenterTo(cut)
 	site := c.Sites[cut]
@@ -138,7 +138,7 @@ func (m *MPS) EntropyProfile() ([]float64, error) {
 // AllReducedDensityMatrices returns ρ_q for every qubit, moving the centre
 // in a single left-to-right sweep (cheaper than N independent calls).
 func (m *MPS) AllReducedDensityMatrices() ([]*linalg.Matrix, error) {
-	c := m.Clone()
+	c := m.readClone()
 	c.ensureCanonical()
 	out := make([]*linalg.Matrix, c.N)
 	for q := 0; q < c.N; q++ {

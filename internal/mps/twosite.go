@@ -18,7 +18,7 @@ func (m *MPS) TwoSiteRDM(i, j int) (*linalg.Matrix, error) {
 	if i < 0 || j >= m.N || i >= j {
 		return nil, fmt.Errorf("mps: TwoSiteRDM needs 0 ≤ i < j < %d, got (%d,%d)", m.N, i, j)
 	}
-	c := m.Clone()
+	c := m.readClone()
 	c.ensureCanonical()
 	c.moveCenterTo(i)
 

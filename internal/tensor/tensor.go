@@ -118,6 +118,31 @@ func (t *Tensor) At(idx ...int) complex128 { return t.Data[t.offset(idx)] }
 // Set assigns the entry at the multi-index.
 func (t *Tensor) Set(v complex128, idx ...int) { t.Data[t.offset(idx)] = v }
 
+// Reuse3 reshapes t in place into a rank-3 tensor (a, b, c), growing the
+// backing array only when its capacity is insufficient and reusing the Shape
+// slice when the rank already matches. Entry contents are unspecified
+// afterwards — the caller overwrites every entry. This is the grow-only
+// site-buffer primitive of the MPS gate engine: steady-state gate
+// application settles at the largest shape seen per site and stops
+// allocating.
+func (t *Tensor) Reuse3(a, b, c int) *Tensor {
+	if a < 0 || b < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: Reuse3 with negative shape (%d,%d,%d)", a, b, c))
+	}
+	n := a * b * c
+	if cap(t.Data) < n {
+		t.Data = make([]complex128, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+	if len(t.Shape) == 3 {
+		t.Shape[0], t.Shape[1], t.Shape[2] = a, b, c
+	} else {
+		t.Shape = []int{a, b, c}
+	}
+	return t
+}
+
 // Reshape returns a tensor with the new shape sharing storage with t.
 // The shape volume must match. This is the paper's equation (7): an arbitrary
 // bijection between old and new indices — row-major order here.
