@@ -16,7 +16,7 @@ SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|B
 # cannot make the gate compare a run against itself.
 BASELINE := $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke ci clean
+.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke ci clean
 
 all: build
 
@@ -66,6 +66,13 @@ bench-check:
 # with scores — the whole persistence + HTTP + batching stack in one shot.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# load-smoke is the p99-gated load harness: train two tiny models, serve them
+# from one registry, drive 200 concurrent loadgen clients across both (with a
+# hot reload fired mid-run), and fail on any 5xx or p99 over the budget.
+# Tunables: LOAD_CLIENTS, LOAD_DURATION, LOAD_P99_BUDGET_MS (env).
+load-smoke:
+	sh scripts/load_smoke.sh
 
 clean:
 	rm -f BENCH_*.json bench_current.json bench_baseline.json

@@ -12,69 +12,121 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/serve"
+	servehttp "repro/internal/serve/http"
+	"repro/internal/serve/registry"
 )
 
-// runServe is the `qkernel serve` subcommand: load a model persisted by
-// `qkernel train -out`, keep it resident, and answer POST /predict requests
-// with micro-batched kernel-row computation (see internal/serve). The
-// process logs its actual listen address on startup ("listening on ...") so
-// scripts can bind -addr to port 0 and scrape the chosen port.
+// runServe is the `qkernel serve` subcommand: load one or more models
+// persisted by `qkernel train -out`, keep them resident, and answer the v1
+// multi-model HTTP surface (POST /v1/models/{name}/predict plus the legacy
+// /predict on the default model) with per-model micro-batched kernel-row
+// computation (see internal/serve, internal/serve/registry and
+// internal/serve/http). The process logs its actual listen address on
+// startup ("listening on ...") so scripts can bind -addr to port 0 and
+// scrape the chosen port. SIGHUP hot-reloads every model whose file changed
+// on disk; -admin exposes the same as POST /admin/reload.
 func runServe(args []string) int {
 	fs := flag.NewFlagSet("qkernel serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-	modelPath := fs.String("model", "", "model file written by `qkernel train -out` (required)")
-	batch := fs.Int("batch", serve.DefaultMaxBatch, "max rows coalesced into one kernel computation")
+	modelPath := fs.String("model", "", "single model file written by `qkernel train -out` (registers as \"default\")")
+	models := fs.String("models", "", "comma-separated name=path model list; the first is the default model")
+	batch := fs.Int("batch", serve.DefaultMaxBatch, "max rows coalesced into one kernel computation (per model)")
 	batchWait := fs.Duration("batch-wait", serve.DefaultMaxWait, "max time the first queued row waits for a batch to fill")
-	queue := fs.Int("queue", serve.DefaultQueueDepth, "max queued requests before 429 backpressure")
-	cacheMB := fs.Int("cache-mb", -1, "override the model's state-cache budget in MiB (-1 keeps the saved setting, 0 disables)")
-	procs := fs.Int("procs", 0, "override the model's simulated process count (0 keeps the saved setting)")
+	queue := fs.Int("queue", serve.DefaultQueueDepth, "max queued requests per model before 429 backpressure")
+	cacheMB := fs.Int("cache-mb", -1, "total state-cache budget in MiB shared across all models (-1 keeps each model's saved setting as its share, 0 disables)")
+	procs := fs.Int("procs", 0, "override the models' simulated process count (0 keeps the saved settings)")
+	rateLimit := fs.Float64("rate-limit", 0, "per-API-key token-bucket rate limit in requests/second (0 disables)")
+	rateBurst := fs.Int("rate-burst", 0, "rate-limit bucket capacity (0 derives from -rate-limit)")
+	admin := fs.Bool("admin", false, "expose POST /admin/reload (hot model swap)")
 	_ = fs.Parse(args)
-	if *modelPath == "" {
-		return fail(fmt.Errorf("serve: -model is required"))
+
+	var specs []registry.Spec
+	var err error
+	switch {
+	case *models != "" && *modelPath != "":
+		return fail(fmt.Errorf("serve: -model and -models are mutually exclusive"))
+	case *models != "":
+		if specs, err = registry.ParseSpecs(*models); err != nil {
+			return fail(err)
+		}
+	case *modelPath != "":
+		specs = []registry.Spec{{Name: "default", Path: *modelPath}}
+	default:
+		return fail(fmt.Errorf("serve: -model or -models is required"))
 	}
 
-	fw, model, err := core.LoadModelTuned(*modelPath, func(o *core.Options) {
-		if *procs > 0 {
-			o.Procs = *procs
-		}
-		switch {
-		case *cacheMB > 0:
-			o.CacheBytes = int64(*cacheMB) << 20
-		case *cacheMB == 0:
-			o.CacheBytes = -1
-		}
-	})
+	regCfg := registry.Config{
+		Procs: *procs,
+		Batch: serve.Config{MaxBatch: *batch, MaxWait: *batchWait, QueueDepth: *queue},
+	}
+	switch {
+	case *cacheMB > 0:
+		regCfg.CacheBudget = int64(*cacheMB) << 20
+	case *cacheMB == 0:
+		regCfg.CacheBudget = -1
+	}
+
+	reg, err := registry.Open(specs, regCfg)
 	if err != nil {
 		return fail(err)
 	}
-	opts := fw.Options()
-	states := "re-simulating training rows on demand"
-	if model.States != nil {
-		states = fmt.Sprintf("%d training states resident", len(model.States))
+	defer reg.Close()
+	for _, mi := range reg.List() {
+		states := "re-simulating training rows on demand"
+		if mi.StatesResident {
+			states = fmt.Sprintf("χ=%d states resident (%.1f MiB)", mi.Chi, float64(mi.StateBytes)/(1<<20))
+		}
+		def := ""
+		if mi.Default {
+			def = " [default]"
+		}
+		fmt.Printf("qkernel serve: model %q%s — %s, %d features, %d training rows, %s, cache share %.0f MiB\n",
+			mi.Name, def, mi.Path, mi.Features, mi.TrainRows, states, float64(mi.CacheBudgetBytes)/(1<<20))
 	}
-	fmt.Printf("qkernel serve: model %s — %d features, %d training rows, %s, %d procs\n",
-		*modelPath, opts.Features, len(model.TrainX), states, opts.Procs)
 
-	srv, err := serve.New(fw, model, serve.Config{
-		MaxBatch:   *batch,
-		MaxWait:    *batchWait,
-		QueueDepth: *queue,
+	router := servehttp.NewRouter(reg, servehttp.Config{
+		RateLimit:   *rateLimit,
+		RateBurst:   *rateBurst,
+		EnableAdmin: *admin,
 	})
-	if err != nil {
-		return fail(err)
-	}
-	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fail(err)
 	}
-	fmt.Printf("qkernel serve: listening on http://%s (batch %d, batch-wait %v, queue %d)\n",
-		ln.Addr(), *batch, *batchWait, *queue)
+	limits := "rate limit off"
+	if *rateLimit > 0 {
+		limits = fmt.Sprintf("rate limit %.3g req/s per key", *rateLimit)
+	}
+	adminState := "admin off"
+	if *admin {
+		adminState = "admin reload on"
+	}
+	fmt.Printf("qkernel serve: listening on http://%s (%d models, batch %d, batch-wait %v, queue %d, %s, %s)\n",
+		ln.Addr(), len(specs), *batch, *batchWait, *queue, limits, adminState)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// SIGHUP is the operator's hot-reload signal: re-stat every model path
+	// and atomically swap the changed ones with zero dropped requests.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			for _, res := range reg.ReloadAll(false) {
+				switch {
+				case res.Error != "":
+					fmt.Printf("qkernel serve: SIGHUP reload %q failed: %s (old model keeps serving)\n", res.Name, res.Error)
+				case res.Swapped:
+					fmt.Printf("qkernel serve: SIGHUP reloaded %q (fingerprint %s)\n", res.Name, res.Fingerprint)
+				default:
+					fmt.Printf("qkernel serve: SIGHUP: %q unchanged\n", res.Name)
+				}
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Handler: router.Handler()}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	go func() {

@@ -1,0 +1,241 @@
+// loadgen is the p99-gated load harness for `qkernel serve`: a closed-loop
+// swarm of concurrent HTTP clients hammering one or more model endpoints,
+// reporting latency quantiles and throughput as JSON, and exiting nonzero
+// when a gate fails — any 5xx response, or p99 above -p99-budget-ms. CI runs
+// it via `make load-smoke` (scripts/load_smoke.sh).
+//
+//	loadgen -url http://127.0.0.1:8080 -models alpha,beta \
+//	        -clients 200 -duration 3s -p99-budget-ms 2000
+//
+// Each client loops: pick its model (round-robin over -models), POST one
+// request of -rows synthetic rows of -features features, record the
+// wall-clock latency and status. -qps 0 means closed-loop (send as fast as
+// responses return); a positive -qps caps each client's request rate.
+// 429s (rate limit or queue-full backpressure) are counted separately and do
+// not fail the run — shedding load politely is correct behaviour — but 5xx
+// and transport errors do.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type predictRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// Report is the JSON document printed on stdout.
+type Report struct {
+	URL          string         `json:"url"`
+	Models       []string       `json:"models"`
+	Clients      int            `json:"clients"`
+	Duration     float64        `json:"duration_seconds"`
+	Requests     int            `json:"requests"`
+	OK           int            `json:"ok"`
+	Rejected429  int            `json:"rejected_429"`
+	Errors5xx    int            `json:"errors_5xx"`
+	OtherErrors  int            `json:"other_errors"`
+	Throughput   float64        `json:"throughput_rps"`
+	P50Ms        float64        `json:"p50_ms"`
+	P90Ms        float64        `json:"p90_ms"`
+	P99Ms        float64        `json:"p99_ms"`
+	MaxMs        float64        `json:"max_ms"`
+	P99BudgetMs  float64        `json:"p99_budget_ms,omitempty"`
+	GatesPassed  bool           `json:"gates_passed"`
+	GateFailures []string       `json:"gate_failures,omitempty"`
+	PerModel     map[string]int `json:"per_model_ok"`
+}
+
+type sample struct {
+	latency time.Duration
+	status  int
+	model   string
+	err     bool
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of a running qkernel serve")
+	models := flag.String("models", "", "comma-separated model names to round-robin over (empty hits the legacy /predict default route)")
+	clients := flag.Int("clients", 50, "concurrent closed-loop clients")
+	qps := flag.Float64("qps", 0, "per-client request rate cap (0 = closed loop, as fast as responses return)")
+	duration := flag.Duration("duration", 3*time.Second, "how long to generate load")
+	rows := flag.Int("rows", 1, "rows per predict request")
+	features := flag.Int("features", 6, "features per row (must match the served models)")
+	apiKeys := flag.Int("api-keys", 0, "spread clients over this many distinct X-API-Key values (0 = no header)")
+	p99Budget := flag.Float64("p99-budget-ms", 0, "fail (exit 1) when p99 latency exceeds this many milliseconds (0 = no gate)")
+	allow5xx := flag.Bool("allow-5xx", false, "do not fail the run on 5xx responses")
+	flag.Parse()
+
+	var modelList []string
+	for _, m := range strings.Split(*models, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			modelList = append(modelList, m)
+		}
+	}
+	routes := []string{strings.TrimRight(*url, "/") + "/predict"}
+	if len(modelList) > 0 {
+		routes = routes[:0]
+		for _, m := range modelList {
+			routes = append(routes, fmt.Sprintf("%s/v1/models/%s/predict", strings.TrimRight(*url, "/"), m))
+		}
+	}
+
+	// One request body per client, built once: synthetic but deterministic
+	// rows so the server does real kernel work without any dataset on disk.
+	makeBody := func(seed int) []byte {
+		req := predictRequest{Rows: make([][]float64, *rows)}
+		for i := range req.Rows {
+			row := make([]float64, *features)
+			for j := range row {
+				row[j] = math.Sin(float64(seed+1)*0.7 + float64(i)*1.3 + float64(j)*2.1)
+			}
+			req.Rows[i] = row
+		}
+		b, _ := json.Marshal(req)
+		return b
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := makeBody(c)
+			route := routes[c%len(routes)]
+			model := "default"
+			if len(modelList) > 0 {
+				model = modelList[c%len(modelList)]
+			}
+			var interval time.Duration
+			if *qps > 0 {
+				interval = time.Duration(float64(time.Second) / *qps)
+			}
+			next := time.Now()
+			local := make([]sample, 0, 256)
+			for time.Now().Before(deadline) {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				req, _ := http.NewRequest(http.MethodPost, route, bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				if *apiKeys > 0 {
+					req.Header.Set("X-API-Key", fmt.Sprintf("loadgen-%d", c%*apiKeys))
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				s := sample{latency: lat, model: model}
+				if err != nil {
+					s.err = true
+				} else {
+					s.status = resp.StatusCode
+					// Drain so the connection is reusable.
+					var buf [512]byte
+					for {
+						if _, rerr := resp.Body.Read(buf[:]); rerr != nil {
+							break
+						}
+					}
+					resp.Body.Close()
+				}
+				local = append(local, s)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		URL:         *url,
+		Models:      modelList,
+		Clients:     *clients,
+		Duration:    elapsed.Seconds(),
+		Requests:    len(samples),
+		P99BudgetMs: *p99Budget,
+		PerModel:    map[string]int{},
+	}
+	var okLat []time.Duration
+	for _, s := range samples {
+		switch {
+		case s.err:
+			rep.OtherErrors++
+		case s.status == http.StatusOK:
+			rep.OK++
+			rep.PerModel[s.model]++
+			okLat = append(okLat, s.latency)
+		case s.status == http.StatusTooManyRequests:
+			rep.Rejected429++
+		case s.status >= 500:
+			rep.Errors5xx++
+		default:
+			rep.OtherErrors++
+		}
+	}
+	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		q := func(p float64) float64 {
+			idx := int(math.Ceil(p*float64(len(okLat)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			return float64(okLat[idx]) / float64(time.Millisecond)
+		}
+		rep.P50Ms = q(0.50)
+		rep.P90Ms = q(0.90)
+		rep.P99Ms = q(0.99)
+		rep.MaxMs = float64(okLat[len(okLat)-1]) / float64(time.Millisecond)
+	}
+
+	rep.GatesPassed = true
+	if rep.OK == 0 {
+		rep.GatesPassed = false
+		rep.GateFailures = append(rep.GateFailures, "no successful responses")
+	}
+	if rep.Errors5xx > 0 && !*allow5xx {
+		rep.GatesPassed = false
+		rep.GateFailures = append(rep.GateFailures, fmt.Sprintf("%d responses were 5xx", rep.Errors5xx))
+	}
+	if rep.OtherErrors > 0 {
+		rep.GatesPassed = false
+		rep.GateFailures = append(rep.GateFailures, fmt.Sprintf("%d transport/unexpected errors", rep.OtherErrors))
+	}
+	if *p99Budget > 0 && rep.P99Ms > *p99Budget {
+		rep.GatesPassed = false
+		rep.GateFailures = append(rep.GateFailures, fmt.Sprintf("p99 %.1fms exceeds budget %.1fms", rep.P99Ms, *p99Budget))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+	if !rep.GatesPassed {
+		os.Exit(1)
+	}
+}

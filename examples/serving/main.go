@@ -1,13 +1,15 @@
-// Serving: the full online-inference loop — train a model, persist it with
-// the versioned codec, stand up the micro-batching HTTP service on a
-// loopback port, and fire a burst of concurrent single-row clients at it.
-// The printed stats show the coalescing at work: many requests, few
-// underlying cross-kernel computations.
+// Serving: the full multi-model online-inference loop — train two models
+// (different kernel bandwidths γ), persist them with the versioned codec,
+// stand up the registry + router HTTP service on a loopback port, and fire a
+// burst of concurrent single-row clients split across both models. The
+// printed stats show per-model coalescing at work: many requests, few
+// underlying cross-kernel computations, and no cross-model interference.
 //
 // Run with: go run ./examples/serving
 //
 // Pass -addr to skip the in-process server and target an already-running
-// `qkernel serve` instead (its model must expect the same feature count).
+// `qkernel serve` instead (its default model must expect the same feature
+// count; named-model routing needs matching names too).
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/serve"
+	servehttp "repro/internal/serve/http"
+	"repro/internal/serve/registry"
 )
 
 func main() {
@@ -44,12 +48,15 @@ func main() {
 	}
 
 	base := *addr
-	if base == "" {
+	multiModel := base == ""
+	if multiModel {
 		base = startLocalServer(train)
 	}
 
-	// Fire the burst: every client POSTs one row concurrently, so the
-	// server's batching window coalesces them into shared kernel calls.
+	// Fire the burst: every client POSTs one row concurrently — odd clients
+	// to the "wide" model, even to the default "narrow" one — so each
+	// model's batching window coalesces its own half into shared kernel
+	// calls.
 	rows := test.X
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -57,9 +64,13 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			url := base + "/predict"
+			if multiModel && c%2 == 1 {
+				url = base + "/v1/models/wide/predict"
+			}
 			row := rows[c%len(rows)]
-			body, _ := json.Marshal(serve.PredictRequest{Rows: [][]float64{row}})
-			resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+			body, _ := json.Marshal(servehttp.PredictRequest{Rows: [][]float64{row}})
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 			if err != nil {
 				log.Printf("client %d: %v", c, err)
 				return
@@ -70,13 +81,13 @@ func main() {
 				fmt.Printf("client %2d: HTTP %d (shed)\n", c, resp.StatusCode)
 				return
 			}
-			var pr serve.PredictResponse
+			var pr servehttp.PredictResponse
 			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil || len(pr.Scores) != 1 {
 				log.Printf("client %d: decode: %v", c, err)
 				return
 			}
-			fmt.Printf("client %2d: HTTP %d, score %+.4f, label %+d\n",
-				c, resp.StatusCode, pr.Scores[0], pr.Labels[0])
+			fmt.Printf("client %2d: HTTP %d, model %-7s score %+.4f, label %+d\n",
+				c, resp.StatusCode, pr.Model, pr.Scores[0], pr.Labels[0])
 		}(c)
 	}
 	wg.Wait()
@@ -87,48 +98,62 @@ func main() {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st serve.Stats
+	var st servehttp.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("server stats: %d requests (%d rows) coalesced into %d cross-kernel calls (largest batch %d rows)\n",
-		st.Requests, st.Rows, st.CrossCalls, st.MaxBatchRows)
-	fmt.Printf("state cache: %d hits / %d misses, %.1f ms spent simulating\n",
-		st.Cache.Hits, st.Cache.Misses, st.Cache.ComputeWall.Seconds()*1e3)
+	for name, ms := range st.Models {
+		fmt.Printf("model %-7s: %d requests (%d rows) coalesced into %d cross-kernel calls (largest batch %d rows); cache %d hits / %d misses\n",
+			name, ms.Requests, ms.Rows, ms.CrossCalls, ms.MaxBatchRows, ms.Cache.Hits, ms.Cache.Misses)
+	}
 }
 
-// startLocalServer fits a model on the training split, round-trips it
+// startLocalServer fits two models on the training split (γ=0.5 and γ=1.0 —
+// two entries in one registry under a shared cache budget), round-trips them
 // through the on-disk codec (exactly what `qkernel train -out` followed by
-// `qkernel serve -model` does), and serves it from this process. Returns the
-// base URL.
+// `qkernel serve -models` does), and serves them from this process. Returns
+// the base URL.
 func startLocalServer(train *dataset.Dataset) string {
-	fw, err := core.New(core.Options{Features: len(train.X[0]), Gamma: 0.5, Procs: 2})
+	dir, err := os.MkdirTemp("", "qkernel-serving-example-")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("training on %d rows...\n", train.Len())
-	model, report, err := fw.Fit(train.X, train.Y)
-	if err != nil {
-		log.Fatal(err)
+	specs := make([]registry.Spec, 0, 2)
+	for _, m := range []struct {
+		name  string
+		gamma float64
+	}{{"narrow", 0.5}, {"wide", 1.0}} {
+		fw, err := core.New(core.Options{Features: len(train.X[0]), Gamma: m.gamma, Procs: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("training %q (γ=%.1f) on %d rows...\n", m.name, m.gamma, train.Len())
+		model, report, err := fw.Fit(train.X, train.Y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %q: best C=%.2f, train AUC %.3f, %d support vectors\n",
+			m.name, report.BestC, report.TrainAUC, report.SupportVecs)
+		path := filepath.Join(dir, m.name+".bin")
+		if err := model.Save(path); err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, registry.Spec{Name: m.name, Path: path})
 	}
-	fmt.Printf("trained: best C=%.2f, train AUC %.3f, %d support vectors\n",
-		report.BestC, report.TrainAUC, report.SupportVecs)
 
-	path := filepath.Join(os.TempDir(), fmt.Sprintf("qkernel-serving-example-%d.bin", os.Getpid()))
-	if err := model.Save(path); err != nil {
-		log.Fatal(err)
-	}
-	fw2, model2, err := core.LoadModel(path)
+	reg, err := registry.Open(specs, registry.Config{
+		CacheBudget: 128 << 20,
+		Batch:       serve.Config{MaxBatch: 32, MaxWait: 20 * time.Millisecond},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model round-tripped through %s (%d training states resident)\n", path, len(model2.States))
-
-	s, err := serve.New(fw2, model2, serve.Config{MaxBatch: 32, MaxWait: 20 * time.Millisecond})
-	if err != nil {
-		log.Fatal(err)
+	for _, mi := range reg.List() {
+		fmt.Printf("registered %q: fingerprint %s, χ=%d, %.1f MiB states, cache share %.0f MiB\n",
+			mi.Name, mi.Fingerprint, mi.Chi, float64(mi.StateBytes)/(1<<20), float64(mi.CacheBudgetBytes)/(1<<20))
 	}
-	ts := httptest.NewServer(s.Handler())
+	router := servehttp.NewRouter(reg, servehttp.Config{})
+	ts := httptest.NewServer(router.Handler())
 	fmt.Printf("serving on %s (batch window %v)\n\n", ts.URL, 20*time.Millisecond)
 	return ts.URL
 }

@@ -209,6 +209,36 @@ type Model struct {
 	fingerprint string
 }
 
+// Fingerprint returns the kernel simulation-context fingerprint the model
+// was trained under (empty on a hand-assembled model). The serving registry
+// exposes it per model so operators can tell which training context each
+// resident model carries, and whether a hot reload actually swapped it.
+func (m *Model) Fingerprint() string { return m.fingerprint }
+
+// StatesBytes is the total payload of the retained training-state handles
+// (0 when the model re-simulates training rows on demand).
+func (m *Model) StatesBytes() int64 {
+	var total int64
+	for _, st := range m.States {
+		total += st.MemoryBytes()
+	}
+	return total
+}
+
+// MaxBond is the largest bond dimension χ across the retained training
+// states (0 when none are resident) — the size driver of both state-cache
+// payload and per-row simulation cost, surfaced in the registry's model
+// listing.
+func (m *Model) MaxBond() int {
+	max := 0
+	for _, st := range m.States {
+		if b := st.MaxBond(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
 // FitReport describes the training run.
 type FitReport struct {
 	GramWall    time.Duration

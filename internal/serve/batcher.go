@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// job is one request travelling through the batching queue.
+type job struct {
+	rows   [][]float64
+	enq    time.Time
+	scores []float64
+	err    error
+	done   chan struct{}
+}
+
+// Batcher owns one resident model and the micro-batching scheduler in front
+// of it. Create with New, submit via Do, stop with Close. In a multi-model
+// deployment the registry owns one Batcher per model, so each model has its
+// own queue, batch window and scheduler goroutine.
+type Batcher struct {
+	fw    *core.Framework
+	model *core.Model
+	cfg   Config
+	queue chan *job
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	start time.Time
+
+	mu           sync.Mutex
+	requests     int64
+	rows         int64
+	batches      int64
+	rejected     int64
+	errs         int64
+	maxBatchRows int
+	predictWall  time.Duration
+	waitWall     time.Duration
+}
+
+// New validates the pair and starts the batching loop. The model should be
+// the framework's own (Fit output or core.LoadModel pair): width mismatches
+// are rejected here rather than per-request.
+func New(fw *core.Framework, model *core.Model, cfg Config) (*Batcher, error) {
+	if fw == nil || model == nil || model.SVM == nil {
+		return nil, fmt.Errorf("serve: nil framework or model")
+	}
+	features := fw.Options().Features
+	if len(model.TrainX) == 0 || len(model.TrainX[0]) != features {
+		return nil, fmt.Errorf("serve: model training rows do not match the framework's %d features", features)
+	}
+	s := &Batcher{
+		fw:    fw,
+		model: model,
+		cfg:   cfg.withDefaults(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	go s.loop()
+	return s, nil
+}
+
+// Framework returns the framework the resident model is served under.
+func (s *Batcher) Framework() *core.Framework { return s.fw }
+
+// Model returns the resident model.
+func (s *Batcher) Model() *core.Model { return s.model }
+
+// Close stops admission — future Do calls fail with ErrClosed — then drains:
+// every request accepted before Close is still answered before Close
+// returns. The drain is what lets a hot swap retire the old model's Batcher
+// with zero dropped in-flight requests. Safe to call more than once.
+func (s *Batcher) Close() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Do submits rows for prediction and blocks until their batch is answered.
+// It is the in-process equivalent of POST /predict: rows from concurrent Do
+// calls coalesce into shared kernel computations.
+func (s *Batcher) Do(rows [][]float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: no rows", ErrBadRequest)
+	}
+	if len(rows) > s.cfg.MaxRequestRows {
+		return nil, fmt.Errorf("%w: %d rows, limit %d", ErrTooLarge, len(rows), s.cfg.MaxRequestRows)
+	}
+	features := s.fw.Options().Features
+	for i, r := range rows {
+		if len(r) != features {
+			return nil, fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadRequest, i, len(r), features)
+		}
+	}
+	j := &job{rows: rows, enq: time.Now(), done: make(chan struct{})}
+	select {
+	case <-s.stop:
+		return nil, ErrClosed
+	default:
+	}
+	// Count the request before the enqueue so a concurrent stats scrape can
+	// never observe the batch side (Batches/CrossCalls) ahead of Requests;
+	// a rejected request is uncounted again under the same lock.
+	s.mu.Lock()
+	s.requests++
+	s.rows += int64(len(rows))
+	s.mu.Unlock()
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Lock()
+		s.requests--
+		s.rows -= int64(len(rows))
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case <-j.done:
+	case <-s.done:
+		// The loop exited; it drained and answered the queue before closing
+		// done, but a job that squeezed past the stop check and enqueued
+		// after that final drain would never be answered — check rather than
+		// block forever.
+		select {
+		case <-j.done:
+		default:
+			s.mu.Lock()
+			s.requests--
+			s.rows -= int64(len(j.rows))
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+	}
+	return j.scores, j.err
+}
+
+// Stats snapshots the counters.
+func (s *Batcher) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Requests:     s.requests,
+		Rows:         s.rows,
+		Batches:      s.batches,
+		CrossCalls:   s.batches, // one kernel computation per batch
+		MaxBatchRows: s.maxBatchRows,
+		Rejected:     s.rejected,
+		Errors:       s.errs,
+		QueuedJobs:   len(s.queue),
+		PredictWall:  s.predictWall,
+		WaitWall:     s.waitWall,
+		Cache:        s.fw.CacheStats(),
+		Comm:         s.fw.CommStats(),
+		Uptime:       time.Since(s.start),
+	}
+}
+
+// loop is the batching scheduler: take the first queued job, hold the batch
+// open until it reaches MaxBatch rows or MaxWait elapses, then answer the
+// whole batch with one kernel call. After Close, the open batch and every
+// queued job are still answered (drainQueued) before the loop exits.
+func (s *Batcher) loop() {
+	defer close(s.done)
+	for {
+		var first *job
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			s.drainQueued()
+			return
+		}
+		batch := []*job{first}
+		rowCount := len(first.rows)
+		timer := time.NewTimer(s.cfg.MaxWait)
+	fill:
+		for rowCount < s.cfg.MaxBatch {
+			select {
+			case j := <-s.queue:
+				batch = append(batch, j)
+				rowCount += len(j.rows)
+			case <-timer.C:
+				break fill
+			case <-s.stop:
+				// Dispatch what the batch holds now; the next loop iteration
+				// lands in drainQueued for the rest.
+				break fill
+			}
+		}
+		timer.Stop()
+		s.process(batch, rowCount)
+	}
+}
+
+// drainQueued answers every job accepted before Close, in coalesced batches,
+// so Close never drops a request it admitted.
+func (s *Batcher) drainQueued() {
+	for {
+		var batch []*job
+		rowCount := 0
+	gather:
+		for rowCount < s.cfg.MaxBatch {
+			select {
+			case j := <-s.queue:
+				batch = append(batch, j)
+				rowCount += len(j.rows)
+			default:
+				break gather
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		s.process(batch, rowCount)
+	}
+}
+
+// process answers one coalesced batch with a single Predict (one underlying
+// cross-kernel computation) and scatters the scores back per job.
+func (s *Batcher) process(batch []*job, rowCount int) {
+	all := make([][]float64, 0, rowCount)
+	dispatch := time.Now()
+	var queued time.Duration
+	for _, j := range batch {
+		all = append(all, j.rows...)
+		queued += dispatch.Sub(j.enq)
+	}
+	scores, err := s.fw.Predict(s.model, all)
+	elapsed := time.Since(dispatch)
+
+	s.mu.Lock()
+	s.batches++
+	s.predictWall += elapsed
+	s.waitWall += queued
+	if rowCount > s.maxBatchRows {
+		s.maxBatchRows = rowCount
+	}
+	if err != nil {
+		s.errs++
+	}
+	s.mu.Unlock()
+
+	off := 0
+	for _, j := range batch {
+		if err != nil {
+			j.err = fmt.Errorf("serve: batch of %d rows failed: %w", rowCount, err)
+		} else {
+			j.scores = scores[off : off+len(j.rows) : off+len(j.rows)]
+		}
+		off += len(j.rows)
+		close(j.done)
+	}
+}

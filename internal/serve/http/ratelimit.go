@@ -1,0 +1,97 @@
+package http
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the per-key bucket map; past it, allow sweeps keys whose
+// buckets have refilled to full (an idle key costs nothing to forget — its
+// next request starts from a full bucket anyway).
+const maxBuckets = 4096
+
+// limiter is a token-bucket rate limiter keyed by API key: each key accrues
+// rate tokens per second up to burst, and one request spends one token. It
+// is deliberately separate from queue-full backpressure — a rate limit is a
+// per-client fairness budget with a deterministic refill time, while
+// queue-full is a transient whole-server saturation signal — and the HTTP
+// layer gives the two distinct Retry-After semantics and reject counters.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// decision is the outcome of one allow call, carrying everything the
+// X-RateLimit-* headers need.
+type decision struct {
+	ok bool
+	// limit is the bucket capacity (X-RateLimit-Limit).
+	limit int
+	// remaining is the whole tokens left after this request
+	// (X-RateLimit-Remaining).
+	remaining int
+	// retryAfter is the time until the next token accrues — the
+	// deterministic Retry-After for a rate-limited 429.
+	retryAfter time.Duration
+	// reset is the time until the bucket refills completely
+	// (X-RateLimit-Reset, in seconds).
+	reset time.Duration
+}
+
+// newLimiter builds a limiter; rate <= 0 disables limiting (nil limiter).
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &limiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket if available.
+func (l *limiter) allow(key string, now time.Time) decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweep(now)
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = bk
+	} else if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(l.burst, bk.tokens+dt*l.rate)
+		bk.last = now
+	}
+	d := decision{limit: int(l.burst)}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		d.ok = true
+	} else {
+		d.retryAfter = time.Duration((1 - bk.tokens) / l.rate * float64(time.Second))
+	}
+	d.remaining = int(bk.tokens)
+	d.reset = time.Duration((l.burst - bk.tokens) / l.rate * float64(time.Second))
+	return d
+}
+
+// sweep drops buckets that have refilled to capacity — forgetting an idle
+// key is free, since its next request would start from a full bucket.
+func (l *limiter) sweep(now time.Time) {
+	for k, bk := range l.buckets {
+		if bk.tokens+now.Sub(bk.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,30 +1,44 @@
-// Package serve is the streaming inference layer: it keeps a trained model
-// (core.Model, usually loaded via core.LoadModel) resident and answers
-// prediction requests online, turning the batch Fit→Predict reproduction
-// into a long-running service.
+// Package serve is the batching layer of the inference service: it keeps a
+// trained model (core.Model, usually loaded via core.LoadModel) resident and
+// answers prediction requests online through a micro-batching queue, turning
+// the batch Fit→Predict reproduction into a long-running service.
 //
-// Its centrepiece is a micro-batching request queue. Kernel inference has
-// strong economies of scale — one ComputeCrossStates call amortises the
-// zero-realloc overlap workspaces, the bounded worker pools and the state
-// cache across every row it carries — so instead of running one kernel
-// computation per HTTP request, incoming rows are coalesced: the first
-// queued request opens a batch window, later requests join it until the
-// batch reaches MaxBatch rows or MaxWait elapses, and the whole batch is
-// answered by a single cross-kernel call whose rows are then scattered back
-// to their requesters. Under concurrent load N requests collapse into far
-// fewer kernel computations; an idle server still answers a lone request
-// within MaxWait.
+// The service is split into three layers with this package at the bottom:
+//
+//   - serve (this package) — the per-model Batcher: a micro-batching request
+//     queue in front of one resident model.
+//   - serve/registry — a named-model registry that owns N Batchers under one
+//     shared state-cache byte budget and hot-swaps models atomically.
+//   - serve/http — the router: the /v1/models/{name}/predict HTTP surface,
+//     per-API-key rate limits, admin reload, and Prometheus metrics with
+//     per-model label dimensions.
+//
+// Kernel inference has strong economies of scale — one ComputeCrossStates
+// call amortises the zero-realloc overlap workspaces, the bounded worker
+// pools and the state cache across every row it carries — so instead of
+// running one kernel computation per request, incoming rows are coalesced:
+// the first queued request opens a batch window, later requests join it
+// until the batch reaches MaxBatch rows or MaxWait elapses, and the whole
+// batch is answered by a single cross-kernel call whose rows are then
+// scattered back to their requesters. Under concurrent load N requests
+// collapse into far fewer kernel computations; an idle server still answers
+// a lone request within MaxWait. Each Batcher has its own queue and
+// scheduler goroutine, so in a multi-model deployment one cold or slow
+// model can never stall another model's batches.
 //
 // Backpressure is explicit: the request queue is bounded (QueueDepth jobs)
 // and a full queue rejects immediately with ErrQueueFull, which the HTTP
 // layer maps to 429 — clients retry with backoff instead of piling latency
 // onto everyone else's batches.
+//
+// Close is graceful: it stops admission (later Do calls fail with
+// ErrClosed) and then drains — every request accepted before Close is still
+// answered, so a registry hot swap can retire the old model's Batcher with
+// zero dropped in-flight requests.
 package serve
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -40,7 +54,7 @@ const (
 )
 
 // ErrQueueFull is returned when the request queue is at QueueDepth — the
-// server is saturated and the caller should back off (HTTP 429).
+// batcher is saturated and the caller should back off (HTTP 429).
 var ErrQueueFull = errors.New("serve: request queue full")
 
 // ErrClosed is returned for requests submitted after Close (HTTP 503).
@@ -88,7 +102,7 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a point-in-time snapshot of the server counters.
+// Stats is a point-in-time snapshot of one Batcher's counters.
 type Stats struct {
 	// Requests counts accepted prediction requests; Rows the data rows they
 	// carried.
@@ -108,245 +122,13 @@ type Stats struct {
 	// calls; WaitWall the cumulative time requests spent queued before their
 	// batch dispatched. Their ratio per request is the batching overhead.
 	PredictWall, WaitWall time.Duration
-	// Cache snapshots the framework's state cache (hit/latency counters).
+	// Cache snapshots the model's state cache (hit/latency counters).
 	Cache statecache.Stats
-	// Comm snapshots the framework's cumulative distributed-wire counters
-	// (transport name, messages, bytes, comm wall-clock) — zero message and
-	// byte counts are the signature of the communication-free retained-state
-	// inference path.
+	// Comm snapshots the model framework's cumulative distributed-wire
+	// counters (transport name, messages, bytes, comm wall-clock) — zero
+	// message and byte counts are the signature of the communication-free
+	// retained-state inference path.
 	Comm core.CommStats
 	// Uptime is the time since New.
 	Uptime time.Duration
-}
-
-// job is one request travelling through the batching queue.
-type job struct {
-	rows   [][]float64
-	enq    time.Time
-	scores []float64
-	err    error
-	done   chan struct{}
-}
-
-// Server owns a resident model and the micro-batching scheduler. Create
-// with New, serve HTTP via Handler, submit in-process via Do, stop with
-// Close.
-type Server struct {
-	fw    *core.Framework
-	model *core.Model
-	cfg   Config
-	queue chan *job
-	stop  chan struct{}
-	done  chan struct{}
-	once  sync.Once
-	start time.Time
-
-	mu           sync.Mutex
-	requests     int64
-	rows         int64
-	batches      int64
-	rejected     int64
-	errs         int64
-	maxBatchRows int
-	predictWall  time.Duration
-	waitWall     time.Duration
-}
-
-// New validates the pair and starts the batching loop. The model should be
-// the framework's own (Fit output or core.LoadModel pair): width mismatches
-// are rejected here rather than per-request.
-func New(fw *core.Framework, model *core.Model, cfg Config) (*Server, error) {
-	if fw == nil || model == nil || model.SVM == nil {
-		return nil, fmt.Errorf("serve: nil framework or model")
-	}
-	features := fw.Options().Features
-	if len(model.TrainX) == 0 || len(model.TrainX[0]) != features {
-		return nil, fmt.Errorf("serve: model training rows do not match the framework's %d features", features)
-	}
-	s := &Server{
-		fw:    fw,
-		model: model,
-		cfg:   cfg.withDefaults(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		start: time.Now(),
-	}
-	s.queue = make(chan *job, s.cfg.QueueDepth)
-	go s.loop()
-	return s, nil
-}
-
-// Close stops the batching loop; queued and future requests fail with
-// ErrClosed. Safe to call more than once.
-func (s *Server) Close() {
-	s.once.Do(func() { close(s.stop) })
-	<-s.done
-}
-
-// Do submits rows for prediction and blocks until their batch is answered.
-// It is the in-process equivalent of POST /predict: rows from concurrent Do
-// calls coalesce into shared kernel computations.
-func (s *Server) Do(rows [][]float64) ([]float64, error) {
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("%w: no rows", ErrBadRequest)
-	}
-	if len(rows) > s.cfg.MaxRequestRows {
-		return nil, fmt.Errorf("%w: %d rows, limit %d", ErrTooLarge, len(rows), s.cfg.MaxRequestRows)
-	}
-	features := s.fw.Options().Features
-	for i, r := range rows {
-		if len(r) != features {
-			return nil, fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadRequest, i, len(r), features)
-		}
-	}
-	j := &job{rows: rows, enq: time.Now(), done: make(chan struct{})}
-	select {
-	case <-s.stop:
-		return nil, ErrClosed
-	default:
-	}
-	// Count the request before the enqueue so a concurrent stats scrape can
-	// never observe the batch side (Batches/CrossCalls) ahead of Requests;
-	// a rejected request is uncounted again under the same lock.
-	s.mu.Lock()
-	s.requests++
-	s.rows += int64(len(rows))
-	s.mu.Unlock()
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Lock()
-		s.requests--
-		s.rows -= int64(len(rows))
-		s.rejected++
-		s.mu.Unlock()
-		return nil, ErrQueueFull
-	}
-	select {
-	case <-j.done:
-	case <-s.done:
-		// The loop exited; it drained the queue before closing done, but a
-		// job enqueued after that drain would never be answered — check
-		// rather than block forever.
-		select {
-		case <-j.done:
-		default:
-			return nil, ErrClosed
-		}
-	}
-	return j.scores, j.err
-}
-
-// Stats snapshots the counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Requests:     s.requests,
-		Rows:         s.rows,
-		Batches:      s.batches,
-		CrossCalls:   s.batches, // one kernel computation per batch
-		MaxBatchRows: s.maxBatchRows,
-		Rejected:     s.rejected,
-		Errors:       s.errs,
-		QueuedJobs:   len(s.queue),
-		PredictWall:  s.predictWall,
-		WaitWall:     s.waitWall,
-		Cache:        s.fw.CacheStats(),
-		Comm:         s.fw.CommStats(),
-		Uptime:       time.Since(s.start),
-	}
-}
-
-// loop is the batching scheduler: take the first queued job, hold the batch
-// open until it reaches MaxBatch rows or MaxWait elapses, then answer the
-// whole batch with one kernel call.
-func (s *Server) loop() {
-	defer close(s.done)
-	for {
-		// Check stop with priority: a ready queue and a closed stop channel
-		// race in a two-case select, and serving several more full batches
-		// after Close would contradict the documented "queued requests fail
-		// with ErrClosed".
-		select {
-		case <-s.stop:
-			s.failQueued()
-			return
-		default:
-		}
-		var first *job
-		select {
-		case first = <-s.queue:
-		case <-s.stop:
-			s.failQueued()
-			return
-		}
-		batch := []*job{first}
-		rowCount := len(first.rows)
-		timer := time.NewTimer(s.cfg.MaxWait)
-	fill:
-		for rowCount < s.cfg.MaxBatch {
-			select {
-			case j := <-s.queue:
-				batch = append(batch, j)
-				rowCount += len(j.rows)
-			case <-timer.C:
-				break fill
-			case <-s.stop:
-				break fill
-			}
-		}
-		timer.Stop()
-		s.process(batch, rowCount)
-	}
-}
-
-// failQueued drains the queue after stop, failing every waiting job.
-func (s *Server) failQueued() {
-	for {
-		select {
-		case j := <-s.queue:
-			j.err = ErrClosed
-			close(j.done)
-		default:
-			return
-		}
-	}
-}
-
-// process answers one coalesced batch with a single Predict (one underlying
-// cross-kernel computation) and scatters the scores back per job.
-func (s *Server) process(batch []*job, rowCount int) {
-	all := make([][]float64, 0, rowCount)
-	dispatch := time.Now()
-	var queued time.Duration
-	for _, j := range batch {
-		all = append(all, j.rows...)
-		queued += dispatch.Sub(j.enq)
-	}
-	scores, err := s.fw.Predict(s.model, all)
-	elapsed := time.Since(dispatch)
-
-	s.mu.Lock()
-	s.batches++
-	s.predictWall += elapsed
-	s.waitWall += queued
-	if rowCount > s.maxBatchRows {
-		s.maxBatchRows = rowCount
-	}
-	if err != nil {
-		s.errs++
-	}
-	s.mu.Unlock()
-
-	off := 0
-	for _, j := range batch {
-		if err != nil {
-			j.err = fmt.Errorf("serve: batch of %d rows failed: %w", rowCount, err)
-		} else {
-			j.scores = scores[off : off+len(j.rows) : off+len(j.rows)]
-		}
-		off += len(j.rows)
-		close(j.done)
-	}
 }

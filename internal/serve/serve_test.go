@@ -1,14 +1,7 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
-	"io"
-	"net/http"
-	"net/http/httptest"
-	"path/filepath"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -43,75 +36,31 @@ func trainSmall(t *testing.T, features int) (*core.Framework, *core.Model, [][]f
 	return fw, model, test.X
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *core.Framework, *core.Model, [][]float64) {
+func newTestBatcher(t *testing.T, cfg Config) (*Batcher, *core.Framework, *core.Model, [][]float64) {
 	t.Helper()
 	fw, model, testX := trainSmall(t, 6)
 	s, err := New(fw, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(func() { ts.Close(); s.Close() })
-	return s, ts, fw, model, testX
+	t.Cleanup(s.Close)
+	return s, fw, model, testX
 }
 
-func postPredict(t *testing.T, url string, rows [][]float64) (*http.Response, PredictResponse) {
-	t.Helper()
-	body, err := json.Marshal(PredictRequest{Rows: rows})
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url+"/predict", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var pr PredictResponse
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-			t.Fatal(err)
-		}
-	} else {
-		io.Copy(io.Discard, resp.Body)
-	}
-	return resp, pr
-}
-
-func getStats(t *testing.T, url string) Stats {
-	t.Helper()
-	resp, err := http.Get(url + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	return st
-}
-
-// TestSingleRequest: one POSTed row comes back with the same score the
+// TestSingleRequest: one submitted row comes back with the same score the
 // in-process Predict produces, within MaxWait.
 func TestSingleRequest(t *testing.T) {
-	_, ts, fw, model, testX := newTestServer(t, Config{MaxWait: time.Millisecond})
+	s, fw, model, testX := newTestBatcher(t, Config{MaxWait: time.Millisecond})
 	want, err := fw.Predict(model, testX[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, pr := postPredict(t, ts.URL, testX[:1])
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+	got, err := s.Do(testX[:1])
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(pr.Scores) != 1 || pr.Scores[0] != want[0] {
-		t.Fatalf("scores %v, want %v", pr.Scores, want)
-	}
-	wantLabel := -1
-	if want[0] > 0 {
-		wantLabel = 1
-	}
-	if pr.Labels[0] != wantLabel {
-		t.Fatalf("label %d for score %v", pr.Labels[0], want[0])
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("scores %v, want %v", got, want)
 	}
 }
 
@@ -121,7 +70,7 @@ func TestSingleRequest(t *testing.T) {
 // moment the last request joins — deterministically one batch.
 func TestConcurrentRequestsCoalesce(t *testing.T) {
 	const n = 8
-	_, ts, fw, model, testX := newTestServer(t, Config{MaxBatch: n, MaxWait: 5 * time.Second})
+	s, fw, model, testX := newTestBatcher(t, Config{MaxBatch: n, MaxWait: 5 * time.Second})
 	want, err := fw.Predict(model, testX[:n])
 	if err != nil {
 		t.Fatal(err)
@@ -129,29 +78,29 @@ func TestConcurrentRequestsCoalesce(t *testing.T) {
 
 	var wg sync.WaitGroup
 	scores := make([]float64, n)
-	codes := make([]int, n)
+	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, pr := postPredict(t, ts.URL, testX[i:i+1])
-			codes[i] = resp.StatusCode
-			if len(pr.Scores) == 1 {
-				scores[i] = pr.Scores[0]
+			got, err := s.Do(testX[i : i+1])
+			errs[i] = err
+			if err == nil && len(got) == 1 {
+				scores[i] = got[0]
 			}
 		}(i)
 	}
 	wg.Wait()
 	for i := 0; i < n; i++ {
-		if codes[i] != http.StatusOK {
-			t.Fatalf("request %d: status %d", i, codes[i])
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
 		}
 		if scores[i] != want[i] {
 			t.Fatalf("request %d: score %v, want %v (batched rows must scatter back in order)", i, scores[i], want[i])
 		}
 	}
 
-	st := getStats(t, ts.URL)
+	st := s.Stats()
 	if st.Requests != n {
 		t.Fatalf("stats count %d requests, want %d", st.Requests, n)
 	}
@@ -164,166 +113,117 @@ func TestConcurrentRequestsCoalesce(t *testing.T) {
 }
 
 // TestQueueFullBackpressure: a depth-1 queue under a concurrent burst must
-// shed load with 429 + Retry-After rather than queueing unboundedly.
+// shed load with ErrQueueFull rather than queueing unboundedly.
 func TestQueueFullBackpressure(t *testing.T) {
-	_, ts, _, _, testX := newTestServer(t, Config{MaxBatch: 1, MaxWait: time.Nanosecond, QueueDepth: 1})
+	s, _, _, testX := newTestBatcher(t, Config{MaxBatch: 1, MaxWait: time.Nanosecond, QueueDepth: 1})
 
 	const burst = 24
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	counts := map[int]int{}
+	var served, shed int
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, _ := postPredict(t, ts.URL, testX[i%len(testX):i%len(testX)+1])
+			_, err := s.Do(testX[i%len(testX) : i%len(testX)+1])
 			mu.Lock()
-			counts[resp.StatusCode]++
-			mu.Unlock()
-			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
-				t.Error("429 without Retry-After")
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.Is(err, ErrQueueFull):
+				shed++
+			default:
+				t.Errorf("request %d: unexpected error %v", i, err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	if counts[http.StatusTooManyRequests] == 0 {
-		t.Fatalf("no 429s under a %d-request burst on a depth-1 queue: %v", burst, counts)
+	if shed == 0 {
+		t.Fatalf("no ErrQueueFull under a %d-request burst on a depth-1 queue (served %d)", burst, served)
 	}
-	if counts[http.StatusOK] == 0 {
-		t.Fatalf("every request shed — the queue admitted nothing: %v", counts)
+	if served == 0 {
+		t.Fatalf("every request shed — the queue admitted nothing")
 	}
-	if st := getStats(t, ts.URL); st.Rejected == 0 {
+	if st := s.Stats(); st.Rejected == 0 {
 		t.Fatalf("stats recorded no rejections: %+v", st)
 	}
 }
 
-// TestServeLoadedModelMatchesInProcess is the end-to-end acceptance path:
-// fit → save → load in a "server process" → POST a batch → scores identical
-// to the training process's in-process Predict.
-func TestServeLoadedModelMatchesInProcess(t *testing.T) {
-	fw, model, testX := trainSmall(t, 6)
-	want, err := fw.Predict(model, testX)
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join(t.TempDir(), "model.bin")
-	if err := model.Save(path); err != nil {
-		t.Fatal(err)
-	}
-
-	fw2, model2, err := core.LoadModel(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := New(fw2, model2, Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
-
-	resp, pr := postPredict(t, ts.URL, testX)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	if len(pr.Scores) != len(want) {
-		t.Fatalf("%d scores for %d rows", len(pr.Scores), len(want))
-	}
-	for i := range want {
-		if pr.Scores[i] != want[i] {
-			t.Fatalf("row %d: served score %v, in-process %v", i, pr.Scores[i], want[i])
-		}
-	}
-}
-
-func TestHealthzAndMetrics(t *testing.T) {
-	_, ts, _, model, testX := newTestServer(t, Config{})
-	if _, pr := postPredict(t, ts.URL, testX[:2]); len(pr.Scores) != 2 {
-		t.Fatal("warm-up request failed")
-	}
-
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var h map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if h["status"] != "ok" || int(h["train_rows"].(float64)) != len(model.TrainX) {
-		t.Fatalf("healthz: %v", h)
-	}
-
-	resp, err = http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	blob, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	text := string(blob)
-	for _, want := range []string{
-		"qkernel_serve_requests_total 1",
-		"qkernel_serve_rows_total 2",
-		"qkernel_serve_cross_calls_total 1",
-		"qkernel_statecache_misses_total",
-		"qkernel_statecache_compute_seconds_total",
-		"qkernel_dist_computations_total",
-		"qkernel_dist_bytes_total",
-		`qkernel_dist_transport{name="chan"} 1`,
-	} {
-		if !strings.Contains(text, want) {
-			t.Fatalf("/metrics missing %q:\n%s", want, text)
-		}
-	}
-
-	// /stats mirrors the same wire counters as JSON: the fit plus the
-	// warm-up batch ran distributed computations, and retained-state
-	// inference communicates nothing, so messages stay zero on the chan
-	// default.
-	st := getStats(t, ts.URL)
-	if st.Comm.Transport != "chan" {
-		t.Fatalf("stats transport %q, want chan", st.Comm.Transport)
-	}
-	if st.Comm.Computations == 0 {
-		t.Fatal("stats recorded no distributed computations after fit + predict")
-	}
-}
-
 func TestRequestValidation(t *testing.T) {
-	s, ts, _, _, testX := newTestServer(t, Config{MaxRequestRows: 4})
+	s, _, _, testX := newTestBatcher(t, Config{MaxRequestRows: 4})
 
-	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader("{not json"))
-	if err != nil {
-		t.Fatal(err)
+	if _, err := s.Do(nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Do(nil) = %v, want ErrBadRequest", err)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
-	}
-
-	if resp, _ := postPredict(t, ts.URL, nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty rows: status %d", resp.StatusCode)
-	}
-	if resp, _ := postPredict(t, ts.URL, [][]float64{{0.5, 0.5}}); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("narrow row: status %d", resp.StatusCode)
+	if _, err := s.Do([][]float64{{0.5, 0.5}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Do(narrow row) = %v, want ErrBadRequest", err)
 	}
 	wide := make([][]float64, 5)
 	for i := range wide {
 		wide[i] = testX[0]
 	}
-	if resp, _ := postPredict(t, ts.URL, wide); resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized request: status %d", resp.StatusCode)
-	}
-
-	// Direct Do validation errors carry the sentinel types.
-	if _, err := s.Do(nil); !errors.Is(err, ErrBadRequest) {
-		t.Fatalf("Do(nil) = %v, want ErrBadRequest", err)
-	}
 	if _, err := s.Do(wide); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("Do(oversized) = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestCloseDrains: Close must answer every request it admitted before
+// returning — a Close racing an open batch window or a populated queue may
+// not drop responses. Run both regimes: an open batch that never fills
+// (MaxBatch > N, hour-long window) and a small MaxBatch that forces the
+// post-Close drain path to coalesce the queue remnant itself.
+func TestCloseDrains(t *testing.T) {
+	for _, cfg := range []Config{
+		{MaxBatch: 64, MaxWait: time.Hour, QueueDepth: 64},
+		{MaxBatch: 3, MaxWait: time.Hour, QueueDepth: 64},
+	} {
+		fw, model, testX := trainSmall(t, 6)
+		s, err := New(fw, model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fw.Predict(model, testX[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const n = 9
+		var wg sync.WaitGroup
+		scores := make([]float64, n)
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := s.Do(testX[:1])
+				errs[i] = err
+				if err == nil && len(got) == 1 {
+					scores[i] = got[0]
+				}
+			}(i)
+		}
+		// Wait until all N submissions are admitted (in the open batch or
+		// the queue), then Close: every one of them must still be answered.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if s.Stats().Requests == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("MaxBatch=%d: only %d/%d requests admitted", cfg.MaxBatch, s.Stats().Requests, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		s.Close()
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("MaxBatch=%d: request %d dropped by Close: %v", cfg.MaxBatch, i, errs[i])
+			}
+			if scores[i] != want[0] {
+				t.Fatalf("MaxBatch=%d: request %d scored %v, want %v", cfg.MaxBatch, i, scores[i], want[0])
+			}
+		}
 	}
 }
 
@@ -337,11 +237,6 @@ func TestCloseRejectsAndUnblocks(t *testing.T) {
 	s.Close() // idempotent
 	if _, err := s.Do(testX[:1]); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Do after Close = %v, want ErrClosed", err)
-	}
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
-	if resp, _ := postPredict(t, ts.URL, testX[:1]); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("closed server answered %d, want 503", resp.StatusCode)
 	}
 }
 
@@ -365,21 +260,21 @@ func TestNewValidates(t *testing.T) {
 // TestOversizedRequestRunsAloneAsBatch: a request larger than MaxBatch (but
 // within MaxRequestRows) is still served, as its own batch.
 func TestOversizedRequestRunsAloneAsBatch(t *testing.T) {
-	_, ts, fw, model, testX := newTestServer(t, Config{MaxBatch: 2, MaxRequestRows: 16})
+	s, fw, model, testX := newTestBatcher(t, Config{MaxBatch: 2, MaxRequestRows: 16})
 	want, err := fw.Predict(model, testX[:6])
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, pr := postPredict(t, ts.URL, testX[:6])
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+	got, err := s.Do(testX[:6])
+	if err != nil {
+		t.Fatal(err)
 	}
 	for i := range want {
-		if pr.Scores[i] != want[i] {
-			t.Fatalf("row %d: %v vs %v", i, pr.Scores[i], want[i])
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
 		}
 	}
-	if st := getStats(t, ts.URL); st.MaxBatchRows != 6 {
+	if st := s.Stats(); st.MaxBatchRows != 6 {
 		t.Fatalf("oversized request not dispatched as one batch: %+v", st)
 	}
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# load-smoke: the p99-gated multi-model load check used by `make load-smoke`
+# and CI. Trains two tiny models with different kernel bandwidths, serves
+# them from one registry (`-models alpha=...,beta=...`) with the admin
+# endpoint on, drives LOAD_CLIENTS concurrent loadgen clients split across
+# both models for LOAD_DURATION, and fails on any 5xx, any transport error,
+# or p99 latency above LOAD_P99_BUDGET_MS. A hot reload is fired mid-run via
+# POST /admin/reload to prove the swap drops nothing under load.
+set -eu
+
+: "${LOAD_CLIENTS:=200}"
+: "${LOAD_DURATION:=3s}"
+: "${LOAD_P99_BUDGET_MS:=2500}"
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/qkernel" ./cmd/qkernel
+go build -o "$tmp/loadgen" ./examples/loadgen
+
+"$tmp/qkernel" train -size 16 -features 6 -gamma 0.5 -out "$tmp/alpha.bin" >/dev/null
+"$tmp/qkernel" train -size 16 -features 6 -gamma 1.0 -out "$tmp/beta.bin" >/dev/null
+
+"$tmp/qkernel" serve -addr 127.0.0.1:0 \
+    -models "alpha=$tmp/alpha.bin,beta=$tmp/beta.bin" \
+    -batch 64 -queue 1024 -admin >"$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+url=""
+i=0
+while [ $i -lt 50 ]; do
+    url=$(grep -o 'listening on http://[0-9.:]*' "$tmp/serve.log" | grep -o 'http://[0-9.:]*' | head -n 1 || true)
+    [ -n "$url" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "load-smoke: server exited early" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "load-smoke: server never reported its listen address" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+
+# Fire a hot reload mid-run: touch beta's file so the stat check sees a
+# change, then hit /admin/reload while loadgen is hammering both models.
+(
+    sleep 1
+    touch "$tmp/beta.bin"
+    curl -s -X POST "$url/admin/reload" -d '{"model":"beta","force":true}' >"$tmp/reload.json" || true
+) &
+reload_pid=$!
+
+if ! "$tmp/loadgen" -url "$url" -models alpha,beta \
+    -clients "$LOAD_CLIENTS" -duration "$LOAD_DURATION" -features 6 \
+    -p99-budget-ms "$LOAD_P99_BUDGET_MS" >"$tmp/report.json"; then
+    echo "load-smoke: loadgen gates failed" >&2
+    cat "$tmp/report.json" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+wait "$reload_pid" 2>/dev/null || true
+
+if [ -s "$tmp/reload.json" ] && ! grep -q '"swapped": *true' "$tmp/reload.json"; then
+    echo "load-smoke: mid-run /admin/reload did not swap" >&2
+    cat "$tmp/reload.json" >&2
+    exit 1
+fi
+
+# Both models must actually have answered traffic.
+for m in alpha beta; do
+    if ! grep -q "\"$m\"" "$tmp/report.json"; then
+        echo "load-smoke: model $m answered no traffic" >&2
+        cat "$tmp/report.json" >&2
+        exit 1
+    fi
+done
+
+echo "load-smoke: OK"
+cat "$tmp/report.json"
