@@ -16,7 +16,7 @@ SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|B
 # cannot make the gate compare a run against itself.
 BASELINE := $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke ci clean
+.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke chaos-smoke ci clean
 
 all: build
 
@@ -73,6 +73,13 @@ serve-smoke:
 # Tunables: LOAD_CLIENTS, LOAD_DURATION, LOAD_P99_BUDGET_MS (env).
 load-smoke:
 	sh scripts/load_smoke.sh
+
+# chaos-smoke is the end-to-end fault-tolerance check: train over the
+# chaos-wrapped loopback-TCP wire with a mid-run rank crash plus 30% message
+# drops and assert the saved model is byte-identical to a clean run's, with a
+# nonzero locally-recovered row count proving the faults actually fired.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 clean:
 	rm -f BENCH_*.json bench_current.json bench_baseline.json

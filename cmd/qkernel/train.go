@@ -25,6 +25,8 @@ func runTrain(args []string) int {
 	strategyName := fs.String("strategy", "round-robin", "round-robin | no-messaging")
 	var wf dist.WireFlags
 	wf.Register(fs)
+	var ff dist.FaultFlags
+	ff.Register(fs)
 	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	cFlag := fs.Float64("c", 0, "SVM box constraint (0 sweeps the paper's grid)")
 	out := fs.String("out", "", "write the trained model here (required)")
@@ -41,6 +43,10 @@ func runTrain(args []string) int {
 	if err != nil {
 		return fail(err)
 	}
+	transport, err = ff.Wrap(transport)
+	if err != nil {
+		return fail(err)
+	}
 	train, test, err := df.split()
 	if err != nil {
 		return fail(err)
@@ -53,6 +59,7 @@ func runTrain(args []string) int {
 	fw, err := core.New(core.Options{
 		Features: df.features, Layers: *layers, Distance: *distance, Gamma: *gamma,
 		C: *cFlag, Procs: *procs, Strategy: strategy, Transport: transport, CacheBytes: cacheBytes,
+		DistDeadline: ff.Deadline, DistRetries: ff.Retries, DistBackoff: ff.Backoff,
 	})
 	if err != nil {
 		return fail(err)
@@ -67,6 +74,10 @@ func runTrain(args []string) int {
 		strategy, dist.TransportName(transport), *procs, report.GramWall.Round(time.Millisecond),
 		report.SimWall.Round(time.Millisecond), report.InnerWall.Round(time.Millisecond),
 		report.CommWall.Round(time.Millisecond), report.BestC, report.TrainAUC, report.SupportVecs)
+	if report.Retries+report.Timeouts+report.RecoveredRows > 0 {
+		fmt.Printf("fault recovery: %d send retries, %d recv timeouts, %d rows recovered locally\n",
+			report.Retries, report.Timeouts, report.RecoveredRows)
+	}
 
 	if test.Len() > 0 {
 		met, err := fw.Evaluate(model, test.X, test.Y)

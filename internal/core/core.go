@@ -56,6 +56,18 @@ type Options struct {
 	// in-process channels). The kernel matrices are transport-independent;
 	// only the communication instrumentation changes.
 	Transport dist.Transport
+	// DistDeadline bounds each shard receive during distributed exchanges;
+	// a shard that misses the deadline is recovered locally via the
+	// no-messaging path (0 = dist.DefaultDeadline, negative disables the
+	// deadline and waits forever).
+	DistDeadline time.Duration
+	// DistRetries bounds the retry attempts for a shard send that fails
+	// with a transient wire error (0 = dist.DefaultMaxRetries, negative
+	// disables retrying).
+	DistRetries int
+	// DistBackoff is the base exponential backoff between send retries
+	// (0 = dist.DefaultBackoff).
+	DistBackoff time.Duration
 	// UseParallelBackend switches the MPS simulator to the
 	// accelerator-role backend (worthwhile only at large bond dimension —
 	// see the Fig. 5 crossover).
@@ -116,6 +128,13 @@ type CommStats struct {
 	Bytes    int64 `json:"bytes"`
 	// CommWall is the summed per-process communication wall-clock.
 	CommWall time.Duration `json:"comm_wall"`
+	// Retries, Timeouts and RecoveredRows total the fault-tolerance layer's
+	// activity: shard-send retries after transient wire failures, receive
+	// deadlines that expired, and kernel rows recomputed locally because a
+	// peer's shard never arrived. All zero on a healthy wire.
+	Retries       int64 `json:"retries"`
+	Timeouts      int64 `json:"timeouts"`
+	RecoveredRows int64 `json:"recovered_rows"`
 }
 
 // New validates the options and builds a framework.
@@ -154,7 +173,14 @@ func New(opts Options) (*Framework, error) {
 
 // distOptions maps the framework's options onto one distributed computation.
 func (f *Framework) distOptions() dist.Options {
-	return dist.Options{Procs: f.opts.Procs, Strategy: f.opts.Strategy, Transport: f.opts.Transport}
+	return dist.Options{
+		Procs:      f.opts.Procs,
+		Strategy:   f.opts.Strategy,
+		Transport:  f.opts.Transport,
+		Deadline:   f.opts.DistDeadline,
+		MaxRetries: f.opts.DistRetries,
+		Backoff:    f.opts.DistBackoff,
+	}
 }
 
 // recordComm folds one distributed computation's wire activity into the
@@ -166,6 +192,9 @@ func (f *Framework) recordComm(res *dist.Result) {
 	f.comm.Messages += int64(res.TotalMessages())
 	f.comm.Bytes += res.TotalBytes()
 	f.comm.CommWall += res.TotalCommTime()
+	f.comm.Retries += int64(res.TotalRetries())
+	f.comm.Timeouts += int64(res.TotalTimeouts())
+	f.comm.RecoveredRows += int64(res.TotalRecoveredRows())
 }
 
 // CommStats snapshots the framework's cumulative distributed-wire counters.
@@ -255,6 +284,13 @@ type FitReport struct {
 	CacheHits    int
 	CacheMisses  int
 	CacheHitRate float64
+	// Retries / Timeouts / RecoveredRows surface the fault-tolerance layer's
+	// work during this Fit: shard-send retries, expired receive deadlines,
+	// and Gram rows recomputed locally because a peer's shard never arrived.
+	// All zero on a healthy run.
+	Retries       int
+	Timeouts      int
+	RecoveredRows int
 }
 
 // Fit computes the training Gram matrix with the configured distribution
@@ -272,6 +308,9 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 	report.SimWall, report.InnerWall, report.CommWall = res.MaxPhaseTimes()
 	report.CacheHits = res.TotalCacheHits()
 	report.CacheMisses = res.TotalStatesSimulated()
+	report.Retries = res.TotalRetries()
+	report.Timeouts = res.TotalTimeouts()
+	report.RecoveredRows = res.TotalRecoveredRows()
 	if total := report.CacheHits + report.CacheMisses; total > 0 && f.q.Cache != nil {
 		report.CacheHitRate = float64(report.CacheHits) / float64(total)
 	}

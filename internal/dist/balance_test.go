@@ -163,7 +163,7 @@ func TestBalancedReducesSimTimeSkew(t *testing.T) {
 	gramNaive := square(len(X))
 	retain := make([]*mps.MPS, len(X))
 	statsNaive := newStats(k)
-	if err := runGramRoundRobin(mk(), X, gramNaive, retain, statsNaive, naiveIndices(len(X), k), ChanTransport{}, nil); err != nil {
+	if err := runGramRoundRobin(mk(), X, gramNaive, retain, statsNaive, naiveIndices(len(X), k), Options{Procs: k}.withDefaults(), nil); err != nil {
 		t.Fatal(err)
 	}
 	mirror(gramNaive)

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,9 +16,9 @@ import (
 // same rows the whole train shard is a cache hit), the train shards are
 // exchanged around the ring over the transport, and each process fills the
 // complete Gram rows of its test shard.
-func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, stats []ProcStats, tr Transport) error {
+func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, stats []ProcStats, opts Options) error {
 	k := len(stats)
-	net, err := tr.Network(k)
+	net, err := opts.Transport.Network(k)
 	if err != nil {
 		return err
 	}
@@ -31,14 +32,14 @@ func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]f
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], net.Endpoint(p), k, &simBarrier, &failed)
+			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], net.Endpoint(p), k, &simBarrier, &failed, opts)
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool) error {
+func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool, opts Options) error {
 	p := st.Rank
 	ownedTest := ownedIndices(len(testX), k, p)
 	ownedTrain := ownedIndices(len(trainX), k, p)
@@ -85,24 +86,35 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 		return nil
 	}
 
-	// Phase 2: exchange the train shards. As in the training path, a
-	// marshal failure still completes the sends with an empty shard so no
-	// peer blocks waiting on it.
+	// Phase 2: exchange the train shards, retrying transient failures. As in
+	// the training path, a marshal failure still completes the sends with an
+	// empty shard so no peer blocks waiting on it, and a rank whose injected
+	// crash fires here abandons before computing or publishing any rows —
+	// its test rows are taken over by the designated survivor below.
 	var own Shard
-	var commErr error
+	var marshalErr error
+	var crashed bool
 	st.CommTime += timed(func() {
-		own, commErr = marshalShard(p, ownedTrain, trainStates)
-		if commErr != nil {
+		own, marshalErr = marshalShard(p, ownedTrain, trainStates)
+		if marshalErr != nil {
 			own = Shard{From: p}
 		}
-		var sendErr error
-		st.MessagesSent, st.BytesSent, sendErr = sendRing(p, own, ep, k)
-		if commErr == nil {
-			commErr = sendErr
-		}
+		crashed = sendRing(p, own, ep, k, opts, st)
 	})
-	if commErr != nil {
-		return commErr
+	if marshalErr != nil {
+		return marshalErr
+	}
+	if crashed {
+		st.Crashed = true
+		return nil
+	}
+
+	// trainAll accumulates every rank's train states at their global
+	// indices — local, received, and recovered — because a dead rank's test
+	// rows can only be taken over with the complete training side in hand.
+	trainAll := make([]*mps.MPS, len(trainX))
+	for b, j := range ownedTrain {
+		trainAll[j] = trainStates[b]
 	}
 
 	// Phase 3a: local test rows × local train columns.
@@ -117,19 +129,19 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 		})
 	})
 
-	// Phase 3b: local test rows × each arriving remote train shard.
-	for r := 1; r < k; r++ {
-		var in Shard
+	// Phase 3b: local test rows × each arriving remote train shard, under
+	// the deadline.
+	onShard := func(in Shard) error {
 		var remote []*mps.MPS
-		var commErr error
+		var uerr error
 		st.CommTime += timed(func() {
-			in, commErr = ep.Recv()
-			if commErr == nil {
-				remote, commErr = unmarshalShard(in, q.Config)
-			}
+			remote, uerr = unmarshalShard(in, q.Config)
 		})
-		if commErr != nil {
-			return commErr
+		if uerr != nil {
+			return uerr
+		}
+		for b, j := range in.Indices {
+			trainAll[j] = remote[b]
 		}
 		st.InnerTime += timed(func() {
 			pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
@@ -140,9 +152,104 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 				}
 			})
 		})
+		return nil
+	}
+	dead, missing, err := exchangeRecv(ep, k, p, opts, st, onShard)
+	if err != nil {
+		return err
 	}
 	for _, c := range counts {
 		st.InnerProducts += c
+	}
+	if len(dead)+len(missing) > 0 {
+		return recoverCross(q, testX, trainX, gram, st, pl, k, ownedTest, testStates, trainAll, dead, missing)
+	}
+	return nil
+}
+
+// recoverCross fills in what a lost train shard (or a whole dead rank) owed
+// this process in the rectangular kernel. For every lost shard — missing or
+// dead — the train rows are re-materialised locally and this rank's own test
+// rows are completed against them. A dead rank additionally computed nothing
+// itself, so the lowest-ranked survivor (consistent across survivors — the
+// dead set comes from broadcast envelopes) takes over its test shard: it
+// re-simulates those test rows and fills their complete rows against the
+// full training side. Orientation is the serial path's (test state first),
+// so recovery stays bit-identical.
+func recoverCross(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, pl pool, k int, ownedTest []int, testStates []*mps.MPS, trainAll []*mps.MPS, dead, missing []int) error {
+	deadSet := make(map[int]bool, len(dead))
+	for _, c := range dead {
+		deadSet[c] = true
+	}
+	lost := make([]int, 0, len(dead)+len(missing))
+	lost = append(append(lost, dead...), missing...)
+	sort.Ints(lost)
+
+	counts := make([]int, len(ownedTest))
+	for _, c := range lost {
+		trainIdx := ownedIndices(len(trainX), k, c)
+		sts := make([]*mps.MPS, len(trainIdx))
+		var simErr error
+		st.SimTime += timed(func() {
+			simErr = simulateOwned(q, trainX, trainIdx, sts, pl, st, "recovered train", nil)
+		})
+		if simErr != nil {
+			return simErr
+		}
+		st.RecoveredRows += len(trainIdx)
+		for b, j := range trainIdx {
+			trainAll[j] = sts[b]
+		}
+		st.InnerTime += timed(func() {
+			pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
+				i := ownedTest[a]
+				for b, j := range trainIdx {
+					gram[i][j] = ws.Overlap(testStates[a], sts[b])
+					counts[a]++
+				}
+			})
+		})
+	}
+	for _, c := range counts {
+		st.InnerProducts += c
+	}
+
+	if len(dead) == 0 {
+		return nil
+	}
+	survivor := 0
+	for deadSet[survivor] {
+		survivor++
+	}
+	if st.Rank != survivor {
+		return nil
+	}
+	deadSorted := append([]int(nil), dead...)
+	sort.Ints(deadSorted)
+	for _, c := range deadSorted {
+		testIdx := ownedIndices(len(testX), k, c)
+		sts := make([]*mps.MPS, len(testIdx))
+		var simErr error
+		st.SimTime += timed(func() {
+			simErr = simulateOwned(q, testX, testIdx, sts, pl, st, "recovered test", nil)
+		})
+		if simErr != nil {
+			return simErr
+		}
+		st.RecoveredRows += len(testIdx)
+		cnt := make([]int, len(testIdx))
+		st.InnerTime += timed(func() {
+			pl.runWS(len(testIdx), func(ws *mps.Workspace, a int) {
+				i := testIdx[a]
+				for j, tr := range trainAll {
+					gram[i][j] = ws.Overlap(sts[a], tr)
+					cnt[a]++
+				}
+			})
+		})
+		for _, c := range cnt {
+			st.InnerProducts += c
+		}
 	}
 	return nil
 }

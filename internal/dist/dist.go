@@ -81,7 +81,30 @@ type Options struct {
 	// ChanTransport. The Gram matrix is transport-independent — only the
 	// communication instrumentation changes.
 	Transport Transport
+	// Deadline bounds each shard receive during an exchange: a shard that
+	// has not arrived within Deadline is treated as lost and its rows are
+	// recovered locally (see recoverGram), so no computation can hang
+	// unboundedly on a slow or dead peer. 0 selects DefaultDeadline;
+	// negative disables the deadline (wait forever, the pre-fault-tolerance
+	// behaviour).
+	Deadline time.Duration
+	// MaxRetries bounds the additional attempts for a shard send that fails
+	// with a transient error. 0 selects DefaultMaxRetries; negative
+	// disables retrying.
+	MaxRetries int
+	// Backoff is the base of the exponential backoff + deterministic jitter
+	// between send retries (retryBackoff). 0 selects DefaultBackoff.
+	Backoff time.Duration
 }
+
+// Fault-tolerance defaults: generous enough that a healthy slow run never
+// trips them, tight enough that a dead rank is detected long before a user
+// gives up on the process.
+const (
+	DefaultDeadline   = 30 * time.Second
+	DefaultMaxRetries = 2
+	DefaultBackoff    = 2 * time.Millisecond
+)
 
 func (o Options) withDefaults() Options {
 	if o.Procs == 0 {
@@ -89,6 +112,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Transport == nil {
 		o.Transport = ChanTransport{}
+	}
+	switch {
+	case o.Deadline == 0:
+		o.Deadline = DefaultDeadline
+	case o.Deadline < 0:
+		o.Deadline = 0 // wait forever
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = DefaultMaxRetries
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.Backoff == 0 {
+		o.Backoff = DefaultBackoff
 	}
 	return o
 }
@@ -123,6 +161,27 @@ type ProcStats struct {
 	// deserialising shards (plus waiting on in-flight messages — under
 	// SimTransport this includes the modelled wire time).
 	CommTime time.Duration
+	// Retries counts shard-send attempts repeated after a transient wire
+	// failure (bounded by Options.MaxRetries per message).
+	Retries int
+	// Timeouts counts receive deadlines that expired while this process was
+	// still owed shards (Options.Deadline); each expiry moves the process on
+	// to local recovery of whatever was still missing.
+	Timeouts int
+	// RecoveredRows counts rows this process re-materialised locally because
+	// a peer's shard never arrived — the no-messaging fallback that keeps
+	// the Gram bit-identical despite lost messages or dead ranks.
+	RecoveredRows int
+	// DupsDropped counts duplicate shard deliveries discarded (the wire
+	// delivered the same origin's shard more than once).
+	DupsDropped int
+	// SendFailures counts sends abandoned after the retry budget ran out;
+	// the affected peers detect the missing shard and recover locally.
+	SendFailures int
+	// Crashed reports that this rank was killed mid-exchange (an injected
+	// whole-rank crash); it published no results and its share of the
+	// schedule was taken over by the survivors.
+	Crashed bool
 }
 
 // Result is a distributed Gram computation: the matrix itself, the total
@@ -216,6 +275,45 @@ func (r *Result) TotalStatesSimulated() int {
 	return s
 }
 
+// TotalRetries sums the shard-send retries over all processes.
+func (r *Result) TotalRetries() int {
+	n := 0
+	for _, p := range r.Procs {
+		n += p.Retries
+	}
+	return n
+}
+
+// TotalTimeouts sums the expired receive deadlines over all processes.
+func (r *Result) TotalTimeouts() int {
+	n := 0
+	for _, p := range r.Procs {
+		n += p.Timeouts
+	}
+	return n
+}
+
+// TotalRecoveredRows sums the locally recovered rows over all processes —
+// zero on a healthy run, nonzero exactly when shards were lost or ranks
+// died.
+func (r *Result) TotalRecoveredRows() int {
+	n := 0
+	for _, p := range r.Procs {
+		n += p.RecoveredRows
+	}
+	return n
+}
+
+// TotalDupsDropped sums the discarded duplicate deliveries over all
+// processes.
+func (r *Result) TotalDupsDropped() int {
+	n := 0
+	for _, p := range r.Procs {
+		n += p.DupsDropped
+	}
+	return n
+}
+
 // ComputeGram computes the symmetric training Gram matrix K_ij = |⟨ψ_i,ψ_j⟩|²
 // for X across opts.Procs processes under opts.Strategy, exchanging shards
 // over opts.Transport. The result agrees with the serial kernel.Gram path
@@ -240,7 +338,7 @@ func ComputeGram(q *kernel.Quantum, X [][]float64, opts Options) (*Result, error
 		// Shards are cost-balanced: rows are assigned by their predicted
 		// χ-based simulation cost instead of equal counts, so a skewed input
 		// cannot park all the heavy rows on one process (see balance.go).
-		err = runGramRoundRobin(q, X, gram, retain, stats, costBalancedIndices(q.Ansatz, X, opts.Procs), opts.Transport, rowCosts)
+		err = runGramRoundRobin(q, X, gram, retain, stats, costBalancedIndices(q.Ansatz, X, opts.Procs), opts, rowCosts)
 	case NoMessaging:
 		err = runGramNoMessaging(q, X, gram, retain, stats, rowCosts)
 	default:
@@ -268,7 +366,7 @@ func ComputeCross(q *kernel.Quantum, testX, trainX [][]float64, opts Options) (*
 	start := time.Now()
 	gram := rect(len(testX), len(trainX))
 	stats := newStats(opts.Procs)
-	if err := runCrossRoundRobin(q, testX, trainX, gram, stats, opts.Transport); err != nil {
+	if err := runCrossRoundRobin(q, testX, trainX, gram, stats, opts); err != nil {
 		return nil, err
 	}
 	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats}, nil

@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// FaultTransport is the chaos wrapper: it decorates any Transport with
+// deterministic, seeded fault injection — message drops, delivery delays,
+// duplicate delivery, transient send failures and whole-rank crashes — so
+// the recovery machinery in the strategies (deadlines, send retry, dead-rank
+// row recovery) can be exercised reproducibly in tests and smoke runs. The
+// wrapper never changes payloads: a fault either loses, repeats or delays a
+// message, or kills a rank outright, and the metamorphic suite asserts the
+// recovered Gram is still bit-identical to the serial path.
+//
+// Every fault decision is a pure function of (Seed, fault kind, sender,
+// receiver, per-sender sequence number), so the same plan over the same
+// schedule injects exactly the same faults on every run and every transport.
+
+// FaultPlan configures which faults fire. The zero value injects nothing.
+type FaultPlan struct {
+	// Seed drives every fault decision; two runs with the same plan and the
+	// same message schedule inject identical faults.
+	Seed uint64
+	// DropProb is the probability a message is silently lost in transit
+	// (the sender believes it was delivered).
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a message is held for Delay before
+	// entering the wire.
+	DelayProb float64
+	// Delay is the hold applied to delayed messages.
+	Delay time.Duration
+	// SendFailProb is the probability a send fails with a transient error
+	// (nothing enters the wire; the sender's retry budget applies).
+	SendFailProb float64
+	// CrashRanks lists ranks that crash at the start of the exchange phase:
+	// every Send and Recv on a crashed rank fails with ErrRankCrashed, and
+	// surviving ranks are handed a *RankFailedError envelope per crashed
+	// peer. Ignored for single-rank networks (a crash there would be a
+	// whole-cluster loss, not a recoverable fault).
+	CrashRanks []int
+}
+
+// crashes returns the deduplicated in-range crash set for a k-rank network.
+func (p FaultPlan) crashes(k int) []int {
+	if k <= 1 {
+		return nil
+	}
+	set := map[int]bool{}
+	for _, r := range p.CrashRanks {
+		if r >= 0 && r < k {
+			set[r] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FaultStats counts the faults a FaultTransport actually injected, summed
+// over every network it built.
+type FaultStats struct {
+	Dropped      int64 // messages silently lost
+	Duplicated   int64 // messages delivered twice
+	Delayed      int64 // messages held for Plan.Delay
+	SendFailures int64 // injected transient send errors
+	CrashedSends int64 // sends refused because the sending rank had crashed
+}
+
+// FaultTransport wraps Inner with the fault plan. Use one value per
+// experiment and read Stats afterwards; the strategies' own ProcStats
+// (Retries, Timeouts, RecoveredRows) report the recovery side.
+type FaultTransport struct {
+	Inner Transport
+	Plan  FaultPlan
+
+	dropped      atomic.Int64
+	duplicated   atomic.Int64
+	delayed      atomic.Int64
+	sendFailures atomic.Int64
+	crashedSends atomic.Int64
+}
+
+// Name prefixes the wrapped wire's name, e.g. "fault+tcp".
+func (t *FaultTransport) Name() string { return "fault+" + TransportName(t.Inner) }
+
+// Stats snapshots the injected-fault counters.
+func (t *FaultTransport) Stats() FaultStats {
+	return FaultStats{
+		Dropped:      t.dropped.Load(),
+		Duplicated:   t.duplicated.Load(),
+		Delayed:      t.delayed.Load(),
+		SendFailures: t.sendFailures.Load(),
+		CrashedSends: t.crashedSends.Load(),
+	}
+}
+
+// Network wires the inner transport and attaches the fault plan.
+func (t *FaultTransport) Network(k int) (Network, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = ChanTransport{}
+	}
+	crashes := t.Plan.crashes(k)
+	if k > 1 && len(crashes) == k {
+		return nil, fmt.Errorf("dist: fault plan crashes all %d ranks — no survivor could recover", k)
+	}
+	in, err := inner.Network(k)
+	if err != nil {
+		return nil, err
+	}
+	n := &faultNetwork{t: t, inner: in, k: k, seq: make([]int, k), crashed: make([]bool, k)}
+	for _, r := range crashes {
+		n.crashed[r] = true
+	}
+	return n, nil
+}
+
+type faultNetwork struct {
+	t       *FaultTransport
+	inner   Network
+	k       int
+	seq     []int // per-sender message sequence; endpoints are single-goroutine
+	crashed []bool
+}
+
+func (n *faultNetwork) Endpoint(rank int) Endpoint {
+	ep := &faultEndpoint{n: n, rank: rank, inner: n.inner.Endpoint(rank)}
+	if !n.crashed[rank] {
+		// A surviving rank learns about every crashed peer through failure
+		// envelopes, delivered ahead of any data so recovery can start
+		// without burning a deadline on a shard that will never arrive.
+		for c, dead := range n.crashed {
+			if dead {
+				ep.pendingDead = append(ep.pendingDead, c)
+			}
+		}
+	}
+	return ep
+}
+
+func (n *faultNetwork) Close() error { return n.inner.Close() }
+
+type faultEndpoint struct {
+	n           *faultNetwork
+	rank        int
+	inner       Endpoint
+	pendingDead []int // crashed peers not yet reported through Recv
+}
+
+// Fault kinds salt the decision hash so each fault draws independently.
+const (
+	faultKindDrop = iota + 1
+	faultKindDup
+	faultKindDelay
+	faultKindSendFail
+)
+
+// roll draws the deterministic fault decision for one (kind, message) pair
+// as a uniform value in [0, 1).
+func (t *FaultTransport) roll(kind, from, to, seq int) float64 {
+	x := t.Plan.Seed ^ uint64(kind)<<48 ^ uint64(from)<<32 ^ uint64(to)<<16 ^ uint64(seq)
+	return float64(splitmix64(x)>>11) / float64(1<<53)
+}
+
+func (e *faultEndpoint) Send(to int, s Shard) (int64, error) {
+	t := e.n.t
+	if e.n.crashed[e.rank] {
+		t.crashedSends.Add(1)
+		return 0, ErrRankCrashed
+	}
+	seq := e.n.seq[e.rank]
+	e.n.seq[e.rank]++
+	p := t.Plan
+	if p.SendFailProb > 0 && t.roll(faultKindSendFail, e.rank, to, seq) < p.SendFailProb {
+		t.sendFailures.Add(1)
+		return 0, fmt.Errorf("dist: injected transient send failure %d→%d (seq %d)", e.rank, to, seq)
+	}
+	if p.DropProb > 0 && t.roll(faultKindDrop, e.rank, to, seq) < p.DropProb {
+		// The wire eats the message: the sender sees a successful, fully
+		// accounted send, the receiver sees nothing — exactly a loss after
+		// the local write succeeded.
+		t.dropped.Add(1)
+		return s.WireBytes(), nil
+	}
+	if p.DelayProb > 0 && p.Delay > 0 && t.roll(faultKindDelay, e.rank, to, seq) < p.DelayProb {
+		t.delayed.Add(1)
+		time.Sleep(p.Delay)
+	}
+	b, err := e.inner.Send(to, s)
+	if err != nil {
+		return b, err
+	}
+	if p.DupProb > 0 && t.roll(faultKindDup, e.rank, to, seq) < p.DupProb {
+		// Deliver the message twice; the wire accounting counts it once
+		// (duplication is the network's fault, not the sender's traffic).
+		t.duplicated.Add(1)
+		if _, derr := e.inner.Send(to, s); derr != nil {
+			return b, derr
+		}
+	}
+	return b, nil
+}
+
+func (e *faultEndpoint) Recv(timeout time.Duration) (Shard, error) {
+	if e.n.crashed[e.rank] {
+		return Shard{}, ErrRankCrashed
+	}
+	if len(e.pendingDead) > 0 {
+		c := e.pendingDead[0]
+		e.pendingDead = e.pendingDead[1:]
+		return Shard{}, &RankFailedError{Rank: c}
+	}
+	return e.inner.Recv(timeout)
+}
+
+// splitmix64 is the avalanche hash behind every deterministic draw in this
+// package (fault rolls, retry jitter); same core as SimTransport's jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryBackoff is the pause before retry attempt n (1-based): base·2^(n−1),
+// capped at 32·base, plus up to +50% deterministic jitter so simultaneous
+// retriers decorrelate without losing reproducibility.
+func retryBackoff(base time.Duration, attempt int, seed uint64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 5 {
+		shift = 5
+	}
+	d := base << uint(shift)
+	frac := float64(splitmix64(seed^uint64(attempt)<<32)>>11) / float64(1<<53)
+	return d + time.Duration(frac*0.5*float64(d))
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -68,29 +69,117 @@ func unmarshalShard(s Shard, cfg mps.Config) ([]*mps.MPS, error) {
 	return states, nil
 }
 
+// retrySend delivers one shard under the Options retry budget: a transient
+// send failure is retried up to o.MaxRetries times with exponential backoff
+// + deterministic jitter. ErrRankCrashed is never retried — it is the
+// sender's own death, not a wire hiccup.
+func retrySend(ep Endpoint, to int, s Shard, o Options, st *ProcStats) (int64, error) {
+	for attempt := 0; ; attempt++ {
+		b, err := ep.Send(to, s)
+		if err == nil {
+			return b, nil
+		}
+		if errors.Is(err, ErrRankCrashed) || attempt >= o.MaxRetries {
+			return 0, err
+		}
+		st.Retries++
+		time.Sleep(retryBackoff(o.Backoff, attempt+1, uint64(to)))
+	}
+}
+
 // sendRing performs rank p's send side of the exchange: one copy of its
 // shard to every other rank, walking the ring (p+1, p+2, …) so the per-round
 // destinations rotate as in the paper's round-robin schedule. Transports
 // buffer every message a rank can receive, so sends do not block on slow
-// receivers. A failed send is recorded but does not abort the ring: peers
-// reachable over healthy links must still get their shard — stopping after
-// one broken link would starve every remaining receiver, not just the
-// unreachable one (whose own end of the broken link surfaces the failure).
-// Returns the accounted messages and bytes plus the first send error.
-func sendRing(p int, s Shard, ep Endpoint, k int) (messages int, bytes int64, err error) {
-	var firstErr error
+// receivers. A send that still fails after the retry budget is counted
+// (SendFailures) but does not abort the ring: peers reachable over healthy
+// links must still get their shard — stopping after one broken link would
+// starve every remaining receiver, not just the unreachable one, whose own
+// deadline-driven recovery covers the undelivered shard. The exception is
+// ErrRankCrashed — the sender's own injected death — which aborts
+// immediately; the caller abandons the exchange without publishing results.
+func sendRing(p int, s Shard, ep Endpoint, k int, o Options, st *ProcStats) (crashed bool) {
 	for r := 1; r < k; r++ {
-		b, sendErr := ep.Send((p+r)%k, s)
-		if sendErr != nil {
-			if firstErr == nil {
-				firstErr = sendErr
+		b, err := retrySend(ep, (p+r)%k, s, o, st)
+		if err != nil {
+			if errors.Is(err, ErrRankCrashed) {
+				return true
 			}
+			st.SendFailures++
 			continue
 		}
-		messages++
-		bytes += b
+		st.MessagesSent++
+		st.BytesSent += b
 	}
-	return messages, bytes, firstErr
+	return false
+}
+
+// exchangeRecv drains rank self's side of one exchange round: it expects one
+// shard from each of the other k−1 ranks, calling onShard for every distinct
+// delivery, and classifies everything that can go wrong so the caller can
+// recover:
+//
+//   - a *RankFailedError marks its rank dead (the wire proved the peer is
+//     gone, so the survivors must also take over its side of the schedule);
+//   - an expired deadline (ErrRecvTimeout) stops the wait — every rank still
+//     unaccounted for is returned as missing (its shard was lost, but the
+//     peer may be alive and computing, so only cells this rank owns may be
+//     recovered for it);
+//   - duplicate deliveries, echoes of self, and late shards from ranks
+//     already marked dead are discarded (DupsDropped);
+//   - ErrRankCrashed (self's own injected death) and onShard errors abort.
+//
+// The wait time lands in CommTime; onShard does its own phase accounting.
+func exchangeRecv(ep Endpoint, k, self int, o Options, st *ProcStats, onShard func(Shard) error) (dead, missing []int, err error) {
+	seen := make([]bool, k)
+	seen[self] = true
+	deadSet := make([]bool, k)
+	pending := k - 1
+	for pending > 0 {
+		var in Shard
+		var recvErr error
+		st.CommTime += timed(func() {
+			in, recvErr = ep.Recv(o.Deadline)
+		})
+		switch {
+		case recvErr == nil:
+			from := in.From
+			if from < 0 || from >= k {
+				return nil, nil, fmt.Errorf("dist: rank %d received shard from invalid rank %d", self, from)
+			}
+			if seen[from] || deadSet[from] {
+				st.DupsDropped++
+				continue
+			}
+			seen[from] = true
+			pending--
+			if onErr := onShard(in); onErr != nil {
+				return nil, nil, onErr
+			}
+		case errors.Is(recvErr, ErrRecvTimeout):
+			st.Timeouts++
+			for r := 0; r < k; r++ {
+				if !seen[r] && !deadSet[r] {
+					missing = append(missing, r)
+				}
+			}
+			return dead, missing, nil
+		case errors.Is(recvErr, ErrRankCrashed):
+			return nil, nil, recvErr
+		default:
+			var rf *RankFailedError
+			if errors.As(recvErr, &rf) {
+				if rf.Rank >= 0 && rf.Rank < k && !seen[rf.Rank] && !deadSet[rf.Rank] {
+					deadSet[rf.Rank] = true
+					dead = append(dead, rf.Rank)
+					pending--
+				}
+				continue
+			}
+			return nil, nil, recvErr
+		}
+	}
+	return dead, missing, nil
 }
 
 // timed runs f and returns its elapsed wall-clock.

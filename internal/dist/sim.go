@@ -68,7 +68,10 @@ func (t *SimTransport) Network(k int) (Network, error) {
 	}
 	n := &simNetwork{t: t, inboxes: make([]chan simMsg, k)}
 	for p := range n.inboxes {
-		n.inboxes[p] = make(chan simMsg, k)
+		// Same headroom as the chan wire: a full exchange round plus a full
+		// round of injected duplicates must never block a sender, even when
+		// the receiver timed out and stopped draining.
+		n.inboxes[p] = make(chan simMsg, 3*k)
 	}
 	return n, nil
 }
@@ -120,10 +123,26 @@ func (e *simEndpoint) Send(to int, s Shard) (int64, error) {
 	return bytes, nil
 }
 
-func (e *simEndpoint) Recv() (Shard, error) {
-	m := <-e.n.inboxes[e.rank]
-	// Wait out whatever wire time remains; a receiver that shows up after
-	// the due instant pays nothing — exactly a message that already landed.
+// Recv waits at most timeout for a message to be handed over by the wire,
+// then waits out whatever modelled wire time remains — a receiver that shows
+// up after the due instant pays nothing, exactly a message that already
+// landed. The modelled residual wait is part of the message's delivery, not
+// of the receiver's patience, so it is deliberately not capped by timeout
+// (the deadline guards against messages that never arrive, which a
+// cost-modelled in-flight message is not).
+func (e *simEndpoint) Recv(timeout time.Duration) (Shard, error) {
+	var m simMsg
+	if timeout <= 0 {
+		m = <-e.n.inboxes[e.rank]
+	} else {
+		timer := time.NewTimer(timeout)
+		select {
+		case m = <-e.n.inboxes[e.rank]:
+			timer.Stop()
+		case <-timer.C:
+			return Shard{}, ErrRecvTimeout
+		}
+	}
 	if wait := time.Until(m.due); wait > 0 {
 		time.Sleep(wait)
 	}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TCPTransport carries shards over real loopback TCP sockets with
@@ -23,7 +24,27 @@ import (
 // modelled: a 16-byte header (origin rank, state count), then per state a
 // 16-byte record header (global index, payload length) and the
 // mps.MarshalBinary payload.
-type TCPTransport struct{}
+//
+// Mesh setup is fault-tolerant: each dial + hello is retried with
+// exponential backoff (a peer's listener that is momentarily saturated or a
+// transient refusal no longer kills the whole network), and every
+// early-return path releases what it opened — the per-rank listener closes
+// via defer, dialled connections are registered in the mesh the moment they
+// exist so the caller's Close tears them down.
+type TCPTransport struct {
+	// DialRetries bounds the additional dial/hello attempts per connection
+	// after the first failure; 0 selects the default (3), negative disables
+	// retrying.
+	DialRetries int
+	// DialBackoff is the base exponential backoff between dial attempts;
+	// 0 selects the default (20ms).
+	DialBackoff time.Duration
+}
+
+const (
+	defaultDialRetries = 3
+	defaultDialBackoff = 20 * time.Millisecond
+)
 
 // Name returns "tcp".
 func (TCPTransport) Name() string { return "tcp" }
@@ -42,12 +63,22 @@ const (
 )
 
 // Network wires up k ranks over loopback sockets.
-func (TCPTransport) Network(k int) (Network, error) {
+func (t TCPTransport) Network(k int) (Network, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("dist: network needs ≥ 1 rank, got %d", k)
 	}
 	if k > maxTCPRanks {
 		return nil, fmt.Errorf("dist: tcp transport supports ≤ %d ranks, got %d", maxTCPRanks, k)
+	}
+	retries := t.DialRetries
+	if retries == 0 {
+		retries = defaultDialRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := t.DialBackoff
+	if backoff <= 0 {
+		backoff = defaultDialBackoff
 	}
 	n := &tcpNetwork{
 		conns:   make([][]*tcpConn, k),
@@ -57,11 +88,13 @@ func (TCPTransport) Network(k int) (Network, error) {
 	for p := range n.conns {
 		n.conns[p] = make([]*tcpConn, k)
 		// Capacity for every message a rank can receive per exchange phase
-		// (k−1) plus one error envelope per connection (k−1): neither data
-		// deliveries nor failure reports can ever block a reader.
-		n.inboxes[p] = make(chan tcpMsg, 2*k)
+		// (k−1), a full round of injected duplicates (k−1) and one error
+		// envelope per connection (k−1): neither data deliveries nor failure
+		// reports can ever block a reader, even when the receiving rank has
+		// timed out and stopped draining.
+		n.inboxes[p] = make(chan tcpMsg, 3*k)
 	}
-	if err := n.dialMesh(k); err != nil {
+	if err := n.dialMesh(k, retries, backoff); err != nil {
 		_ = n.Close()
 		return nil, err
 	}
@@ -69,7 +102,7 @@ func (TCPTransport) Network(k int) (Network, error) {
 		for q := 0; q < k; q++ {
 			if c := n.conns[p][q]; c != nil {
 				n.readers.Add(1)
-				go n.readLoop(p, c)
+				go n.readLoop(p, q, c)
 			}
 		}
 	}
@@ -105,65 +138,95 @@ type tcpNetwork struct {
 // dialMesh connects every rank pair: rank q listens, ranks p < q dial, and
 // an 8-byte hello carrying the dialler's rank disambiguates accepted
 // connections. Dialling before accepting is safe — the pending connections
-// sit in the listen backlog (bounded by maxTCPRanks).
-func (n *tcpNetwork) dialMesh(k int) error {
+// sit in the listen backlog (bounded by maxTCPRanks). On any error the
+// partial mesh is fully released: dialRank's listener closes via defer, and
+// every connection already established is registered in n.conns, which the
+// caller tears down through n.Close.
+func (n *tcpNetwork) dialMesh(k, retries int, backoff time.Duration) error {
 	for q := 1; q < k; q++ {
-		ln, err := net.Listen("tcp", tcpNetworkAddress)
-		if err != nil {
-			return fmt.Errorf("dist: tcp listen for rank %d: %w", q, err)
+		if err := n.dialRank(q, retries, backoff); err != nil {
+			return err
 		}
-		for p := 0; p < q; p++ {
-			c, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				ln.Close()
-				return fmt.Errorf("dist: tcp dial %d→%d: %w", p, q, err)
-			}
-			var hello [8]byte
-			binary.LittleEndian.PutUint64(hello[:], uint64(p))
-			if _, err := c.Write(hello[:]); err != nil {
-				c.Close()
-				ln.Close()
-				return fmt.Errorf("dist: tcp hello %d→%d: %w", p, q, err)
-			}
-			n.conns[p][q] = newTCPConn(c)
-		}
-		for i := 0; i < q; i++ {
-			c, err := ln.Accept()
-			if err != nil {
-				ln.Close()
-				return fmt.Errorf("dist: tcp accept for rank %d: %w", q, err)
-			}
-			var hello [8]byte
-			if _, err := io.ReadFull(c, hello[:]); err != nil {
-				c.Close()
-				ln.Close()
-				return fmt.Errorf("dist: tcp hello for rank %d: %w", q, err)
-			}
-			p := int(binary.LittleEndian.Uint64(hello[:]))
-			if p < 0 || p >= q || n.conns[q][p] != nil {
-				c.Close()
-				ln.Close()
-				return fmt.Errorf("dist: tcp hello names bad rank %d", p)
-			}
-			n.conns[q][p] = newTCPConn(c)
-		}
-		ln.Close()
 	}
 	return nil
+}
+
+// dialRank wires every rank p < q to rank q's listener.
+func (n *tcpNetwork) dialRank(q, retries int, backoff time.Duration) error {
+	ln, err := net.Listen("tcp", tcpNetworkAddress)
+	if err != nil {
+		return fmt.Errorf("dist: tcp listen for rank %d: %w", q, err)
+	}
+	defer ln.Close()
+	for p := 0; p < q; p++ {
+		c, err := dialWithRetry(ln.Addr().String(), p, retries, backoff)
+		if err != nil {
+			return fmt.Errorf("dist: tcp dial %d→%d: %w", p, q, err)
+		}
+		// Register immediately: from here the connection is owned by the
+		// mesh, so an error on any later pair still closes it via n.Close.
+		n.conns[p][q] = newTCPConn(c)
+	}
+	for i := 0; i < q; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist: tcp accept for rank %d: %w", q, err)
+		}
+		var hello [8]byte
+		if _, err := io.ReadFull(c, hello[:]); err != nil {
+			c.Close()
+			return fmt.Errorf("dist: tcp hello for rank %d: %w", q, err)
+		}
+		p := int(binary.LittleEndian.Uint64(hello[:]))
+		if p < 0 || p >= q || n.conns[q][p] != nil {
+			c.Close()
+			return fmt.Errorf("dist: tcp hello names bad rank %d", p)
+		}
+		n.conns[q][p] = newTCPConn(c)
+	}
+	return nil
+}
+
+// dialWithRetry dials the address and writes the 8-byte rank hello, retrying
+// transient failures with exponential backoff + deterministic jitter. The
+// first attempt is immediate; each of the `retries` additional attempts is
+// preceded by retryBackoff. Returns the last error when the budget runs out.
+func dialWithRetry(addr string, rank, retries int, backoff time.Duration) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBackoff(backoff, attempt, uint64(rank)))
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var hello [8]byte
+		binary.LittleEndian.PutUint64(hello[:], uint64(rank))
+		if _, err := c.Write(hello[:]); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, lastErr
 }
 
 func newTCPConn(c net.Conn) *tcpConn {
 	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
 }
 
-// readLoop drains rank p's end of one connection into p's inbox until the
-// network shuts down. Any failure before that — including a clean EOF from
-// a dying peer — is delivered to the rank as an error envelope: swallowing
-// it would leave a Recv blocked forever on a shard that can no longer
-// arrive (the network is only closed after every rank returns, so the
-// close-side escape hatch would never fire). The inbox is sized so the
-// envelope push cannot block.
-func (n *tcpNetwork) readLoop(p int, c *tcpConn) {
+// readLoop drains rank p's end of its connection to peer q into p's inbox
+// until the network shuts down. Any failure before that — including a clean
+// EOF from a dying peer — is delivered to the rank as a *RankFailedError
+// naming q: swallowing it would leave a Recv blocked forever on a shard that
+// can no longer arrive (the network is only closed after every rank returns,
+// so the close-side escape hatch would never fire), and naming the peer lets
+// the strategies take over the dead rank's share of the schedule. The inbox
+// is sized so the envelope push cannot block.
+func (n *tcpNetwork) readLoop(p, q int, c *tcpConn) {
 	defer n.readers.Done()
 	for {
 		s, err := readFrame(c.r)
@@ -171,7 +234,10 @@ func (n *tcpNetwork) readLoop(p int, c *tcpConn) {
 			if n.closing.Load() {
 				return
 			}
-			n.inboxes[p] <- tcpMsg{err: fmt.Errorf("dist: tcp recv at rank %d: %w", p, err)}
+			n.inboxes[p] <- tcpMsg{err: &RankFailedError{
+				Rank: q,
+				Err:  fmt.Errorf("dist: tcp recv at rank %d: %w", p, err),
+			}}
 			return
 		}
 		n.inboxes[p] <- tcpMsg{s: s}
@@ -221,10 +287,18 @@ func (e *tcpEndpoint) Send(to int, s Shard) (int64, error) {
 	return s.WireBytes(), nil
 }
 
-func (e *tcpEndpoint) Recv() (Shard, error) {
+func (e *tcpEndpoint) Recv(timeout time.Duration) (Shard, error) {
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
 	select {
 	case m := <-e.n.inboxes[e.rank]:
 		return m.s, m.err
+	case <-timeoutC:
+		return Shard{}, ErrRecvTimeout
 	case <-e.n.closed:
 		// A message may have landed concurrently with the close.
 		select {

@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // The pluggable wire. The distribution strategies (ring.go, roundrobin.go,
@@ -58,10 +60,46 @@ type Endpoint interface {
 	// receive per exchange phase, preserving the deadlock-freedom argument
 	// of the ring schedule.
 	Send(to int, s Shard) (int64, error)
-	// Recv returns the next shard delivered to this rank. Shards are tagged
-	// with their origin (Shard.From), so arrival order is irrelevant.
-	Recv() (Shard, error)
+	// Recv returns the next shard delivered to this rank, waiting at most
+	// timeout (≤ 0 waits forever). Shards are tagged with their origin
+	// (Shard.From), so arrival order is irrelevant. When the deadline
+	// expires first, Recv returns ErrRecvTimeout; when the wire learns a
+	// peer can no longer deliver (broken connection, injected crash), it
+	// returns a *RankFailedError naming the dead rank. Both are recoverable:
+	// the strategies re-derive the lost rows locally (see recoverGram).
+	Recv(timeout time.Duration) (Shard, error)
 }
+
+// ErrRecvTimeout is returned by Endpoint.Recv when the per-message deadline
+// (Options.Deadline) expires before any shard arrives. The strategies treat
+// the still-missing peers' shards as lost and recover their rows locally.
+var ErrRecvTimeout = errors.New("dist: shard receive deadline exceeded")
+
+// ErrRankCrashed is returned by a FaultTransport endpoint whose own rank was
+// configured to crash (FaultPlan.CrashRanks): from the moment the crash
+// fires, every Send and Recv on that rank fails with this error, and the
+// rank's goroutine abandons the exchange without publishing results.
+var ErrRankCrashed = errors.New("dist: rank crashed (injected fault)")
+
+// RankFailedError is delivered through Recv when the wire knows a specific
+// peer can no longer deliver its shards — a broken TCP connection mid-read,
+// or a FaultTransport-injected whole-rank crash. Unlike a bare timeout
+// (which only proves a message was lost), a RankFailedError proves the rank
+// itself is gone, so the survivors additionally take over the dead rank's
+// side of the exchange schedule.
+type RankFailedError struct {
+	Rank int
+	Err  error // underlying cause, nil for injected crashes
+}
+
+func (e *RankFailedError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("dist: rank %d failed", e.Rank)
+	}
+	return fmt.Sprintf("dist: rank %d failed: %v", e.Rank, e.Err)
+}
+
+func (e *RankFailedError) Unwrap() error { return e.Err }
 
 // ChanTransport is the in-process wire: per-rank buffered channels, zero
 // latency, zero serialisation beyond the shard marshalling the strategies
@@ -90,8 +128,11 @@ func newChanNetwork(k int) *chanNetwork {
 	n := &chanNetwork{inboxes: make([]chan Shard, k)}
 	for p := range n.inboxes {
 		// Capacity for every message a rank can receive in one exchange
-		// phase: senders never block, so no schedule can deadlock.
-		n.inboxes[p] = make(chan Shard, k)
+		// phase — including a full round of FaultTransport-injected
+		// duplicates and per-peer failure envelopes — so senders never
+		// block and no schedule can deadlock even when the receiver has
+		// stopped draining (it timed out and moved on to recovery).
+		n.inboxes[p] = make(chan Shard, 3*k)
 	}
 	return n
 }
@@ -113,8 +154,23 @@ func (e *chanEndpoint) Send(to int, s Shard) (int64, error) {
 	return s.WireBytes(), nil
 }
 
-func (e *chanEndpoint) Recv() (Shard, error) {
-	return <-e.n.inboxes[e.rank], nil
+func (e *chanEndpoint) Recv(timeout time.Duration) (Shard, error) {
+	if timeout <= 0 {
+		return <-e.n.inboxes[e.rank], nil
+	}
+	select {
+	case s := <-e.n.inboxes[e.rank]:
+		return s, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case s := <-e.n.inboxes[e.rank]:
+		return s, nil
+	case <-timer.C:
+		return Shard{}, ErrRecvTimeout
+	}
 }
 
 // transportNames lists the flag vocabulary in presentation order; the
@@ -146,4 +202,18 @@ func TransportName(t Transport) string {
 		return ChanTransport{}.Name()
 	}
 	return t.Name()
+}
+
+// BaseTransport strips chaos wrappers and returns the underlying wire.
+// Persistence uses it so a model trained under fault injection records the
+// real transport name ("tcp", not "fault+tcp") and round-trips through
+// ParseTransport on load.
+func BaseTransport(t Transport) Transport {
+	for {
+		ft, ok := t.(*FaultTransport)
+		if !ok {
+			return t
+		}
+		t = ft.Inner
+	}
 }

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +17,11 @@ type job struct {
 	scores []float64
 	err    error
 	done   chan struct{}
+	// canceled marks a job whose submitter gave up (context ended) while it
+	// was queued. The scheduler checks it at gather time and releases the
+	// slot instead of computing the dead request; a job gathered before the
+	// mark is computed normally (its submitter already returned).
+	canceled atomic.Bool
 }
 
 // Batcher owns one resident model and the micro-batching scheduler in front
@@ -36,6 +43,7 @@ type Batcher struct {
 	rows         int64
 	batches      int64
 	rejected     int64
+	canceled     int64
 	errs         int64
 	maxBatchRows int
 	predictWall  time.Duration
@@ -85,6 +93,19 @@ func (s *Batcher) Close() {
 // It is the in-process equivalent of POST /predict: rows from concurrent Do
 // calls coalesce into shared kernel computations.
 func (s *Batcher) Do(rows [][]float64) ([]float64, error) {
+	return s.DoCtx(context.Background(), rows)
+}
+
+// DoCtx is Do bounded by a context: if ctx ends while the request is still
+// queued, DoCtx returns ErrCanceled immediately and the scheduler releases
+// the slot when it reaches the job — the dead request's rows are never
+// computed. A cancellation that races the batch dispatch may still compute
+// the rows (they were already gathered); the caller gets ErrCanceled either
+// way.
+func (s *Batcher) DoCtx(ctx context.Context, rows [][]float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("%w: no rows", ErrBadRequest)
 	}
@@ -122,6 +143,18 @@ func (s *Batcher) Do(rows [][]float64) ([]float64, error) {
 	}
 	select {
 	case <-j.done:
+	case <-ctx.Done():
+		// Mark the job dead so the scheduler releases its slot (and its
+		// accounting) instead of computing it, then check whether the batch
+		// won the race anyway — if the job was already answered, prefer the
+		// answer's accounting but still report the cancellation to the
+		// (gone) caller.
+		j.canceled.Store(true)
+		select {
+		case <-j.done:
+		default:
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
 	case <-s.done:
 		// The loop exited; it drained and answered the queue before closing
 		// done, but a job that squeezed past the stop check and enqueued
@@ -140,6 +173,20 @@ func (s *Batcher) Do(rows [][]float64) ([]float64, error) {
 	return j.scores, j.err
 }
 
+// releaseCanceled releases a canceled job the scheduler pulled from the
+// queue: the admission-time accounting is undone, the cancellation counted,
+// and the job answered (its submitter has already returned, but answering
+// keeps every pulled job's lifecycle uniform).
+func (s *Batcher) releaseCanceled(j *job) {
+	s.mu.Lock()
+	s.requests--
+	s.rows -= int64(len(j.rows))
+	s.canceled++
+	s.mu.Unlock()
+	j.err = ErrCanceled
+	close(j.done)
+}
+
 // Stats snapshots the counters.
 func (s *Batcher) Stats() Stats {
 	s.mu.Lock()
@@ -151,6 +198,7 @@ func (s *Batcher) Stats() Stats {
 		CrossCalls:   s.batches, // one kernel computation per batch
 		MaxBatchRows: s.maxBatchRows,
 		Rejected:     s.rejected,
+		Canceled:     s.canceled,
 		Errors:       s.errs,
 		QueuedJobs:   len(s.queue),
 		PredictWall:  s.predictWall,
@@ -175,6 +223,10 @@ func (s *Batcher) loop() {
 			s.drainQueued()
 			return
 		}
+		if first.canceled.Load() {
+			s.releaseCanceled(first)
+			continue
+		}
 		batch := []*job{first}
 		rowCount := len(first.rows)
 		timer := time.NewTimer(s.cfg.MaxWait)
@@ -182,6 +234,10 @@ func (s *Batcher) loop() {
 		for rowCount < s.cfg.MaxBatch {
 			select {
 			case j := <-s.queue:
+				if j.canceled.Load() {
+					s.releaseCanceled(j)
+					continue
+				}
 				batch = append(batch, j)
 				rowCount += len(j.rows)
 			case <-timer.C:
@@ -207,6 +263,10 @@ func (s *Batcher) drainQueued() {
 		for rowCount < s.cfg.MaxBatch {
 			select {
 			case j := <-s.queue:
+				if j.canceled.Load() {
+					s.releaseCanceled(j)
+					continue
+				}
 				batch = append(batch, j)
 				rowCount += len(j.rows)
 			default:

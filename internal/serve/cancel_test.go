@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultClientCancelBeforeEnqueue: a context that is already dead never
+// enters the queue — no accounting, no slot, ErrCanceled straight back.
+func TestFaultClientCancelBeforeEnqueue(t *testing.T) {
+	s, _, _, testX := newTestBatcher(t, Config{MaxWait: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.DoCtx(ctx, testX[:1]); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("DoCtx with dead context = %v, want ErrCanceled", err)
+	}
+	st := s.Stats()
+	if st.Requests != 0 || st.Canceled != 0 || st.QueuedJobs != 0 {
+		t.Fatalf("dead context leaked accounting: %+v", st)
+	}
+}
+
+// TestFaultClientCancelReleasesQueuedSlot: a request canceled while queued
+// behind a slow batch is released by the scheduler — its rows are never
+// computed, its admission accounting is undone, and the cancellation is
+// counted.
+func TestFaultClientCancelReleasesQueuedSlot(t *testing.T) {
+	s, _, _, testX := newTestBatcher(t, Config{MaxBatch: 1, MaxWait: time.Millisecond, QueueDepth: 4})
+
+	// Job A: enough distinct rows that its kernel call holds the scheduler in
+	// process() while we cancel B behind it. Distinct rows defeat the state
+	// cache, so every one costs a simulation.
+	big := make([][]float64, 512)
+	for i := range big {
+		r := make([]float64, len(testX[0]))
+		copy(r, testX[i%len(testX)])
+		r[0] += float64(i) * 1e-4
+		big[i] = r
+	}
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := s.DoCtx(context.Background(), big)
+		aDone <- err
+	}()
+	// Wait until A has been pulled off the queue (dispatched, not answered).
+	waitFor(t, "job A dispatched", func() bool {
+		st := s.Stats()
+		return st.Requests == 1 && st.QueuedJobs == 0 && st.Batches == 0
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := s.DoCtx(ctx, testX[:1])
+		bDone <- err
+	}()
+	waitFor(t, "job B queued", func() bool { return s.Stats().QueuedJobs == 1 })
+	cancel()
+
+	if err := <-bDone; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled queued request = %v, want ErrCanceled", err)
+	}
+	if err := <-aDone; err != nil {
+		t.Fatalf("job A should complete normally: %v", err)
+	}
+	// The scheduler reaches B after A's batch and releases it.
+	waitFor(t, "canceled slot released", func() bool { return s.Stats().Canceled == 1 })
+	st := s.Stats()
+	if st.Requests != 1 {
+		t.Fatalf("released cancellation must undo admission accounting: %d requests, want 1", st.Requests)
+	}
+	if st.Batches != 1 {
+		t.Fatalf("the canceled job must never be computed: %d batches, want 1", st.Batches)
+	}
+}
+
+// waitFor polls cond with a generous deadline — the conditions are driven by
+// a live scheduler goroutine, so the poll is about when, not whether.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,41 @@
+package http
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestFaultCanceledRequest499: a request whose client has already gone away
+// is answered 499 (client closed request), counted in the canceled reject
+// reason, and never computed.
+func TestFaultCanceledRequest499(t *testing.T) {
+	st := newStack(t, serve.Config{}, Config{})
+	handler := st.ts.Config.Handler
+
+	body, err := json.Marshal(PredictRequest{Rows: st.testX[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/models/alpha/predict", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("canceled request: status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+
+	metrics := getMetrics(t, st.ts.URL)
+	if line := grepLines(metrics, `qkernel_serve_rejects_total{reason="canceled"}`); !strings.HasSuffix(line, " 1") {
+		t.Fatalf("canceled reject not counted: %q", line)
+	}
+	if line := grepLines(metrics, `qkernel_serve_requests_total{model="alpha"}`); !strings.HasSuffix(line, " 0") {
+		t.Fatalf("canceled request must not count as accepted: %q", line)
+	}
+}

@@ -44,6 +44,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st serve.Stats) float64 { return float64(st.Rejected) })
 	family("qkernel_serve_errors_total", "counter", "batches whose kernel computation failed",
 		func(st serve.Stats) float64 { return float64(st.Errors) })
+	family("qkernel_serve_canceled_total", "counter", "queued requests whose client disconnected before dispatch",
+		func(st serve.Stats) float64 { return float64(st.Canceled) })
 	family("qkernel_serve_predict_seconds_total", "counter", "wall-clock inside batched kernel calls",
 		func(st serve.Stats) float64 { return st.PredictWall.Seconds() })
 	family("qkernel_serve_wait_seconds_total", "counter", "request time spent queued before batch dispatch",
@@ -76,19 +78,26 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st serve.Stats) float64 { return float64(st.Comm.Bytes) })
 	family("qkernel_dist_comm_seconds_total", "counter", "summed per-process communication wall-clock",
 		func(st serve.Stats) float64 { return st.Comm.CommWall.Seconds() })
+	family("qkernel_dist_retries_total", "counter", "shard-send retries after transient wire failures",
+		func(st serve.Stats) float64 { return float64(st.Comm.Retries) })
+	family("qkernel_dist_timeouts_total", "counter", "shard-receive deadlines expired",
+		func(st serve.Stats) float64 { return float64(st.Comm.Timeouts) })
+	family("qkernel_dist_recovered_rows_total", "counter", "kernel rows recomputed locally after a peer's shard never arrived",
+		func(st serve.Stats) float64 { return float64(st.Comm.RecoveredRows) })
 
 	sb.WriteString("# HELP qkernel_dist_transport configured shard wire per model (value fixed at 1)\n# TYPE qkernel_dist_transport gauge\n")
 	for _, model := range names {
 		fmt.Fprintf(&sb, "qkernel_dist_transport{model=%q,name=%q} 1\n", model, stats[model].Comm.Transport)
 	}
 
-	// Router-level rejects, split by reason: the two 429 paths are distinct
-	// failure modes (per-client budget vs whole-server saturation) and get
-	// distinct counters. Both reasons are always exported so dashboards see
-	// an explicit zero rather than a missing series.
+	// Router-level rejects, split by reason: rate-limit and queue-full are
+	// distinct failure modes (per-client budget vs whole-server saturation),
+	// and canceled marks clients that disconnected while queued. Every
+	// reason is always exported so dashboards see an explicit zero rather
+	// than a missing series.
 	rejects := rt.rejectCounts()
 	sb.WriteString("# HELP qkernel_serve_rejects_total requests rejected by the router, by reason\n# TYPE qkernel_serve_rejects_total counter\n")
-	for _, reason := range []string{RejectQueueFull, RejectRateLimit} {
+	for _, reason := range []string{RejectQueueFull, RejectRateLimit, RejectCanceled} {
 		fmt.Fprintf(&sb, "qkernel_serve_rejects_total{reason=%q} %d\n", reason, rejects[reason])
 	}
 

@@ -46,7 +46,14 @@ const maxBodyBytes = 8 << 20
 const (
 	RejectRateLimit = "rate_limit"
 	RejectQueueFull = "queue_full"
+	RejectCanceled  = "canceled"
 )
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before its queued request was answered. Nothing is written to
+// the wire the client can still see; the code exists for the access log and
+// the reject counter.
+const statusClientClosedRequest = 499
 
 // Config tunes the router.
 type Config struct {
@@ -205,11 +212,16 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request, name str
 	if resolved == "" {
 		resolved = rt.reg.DefaultName()
 	}
-	scores, err := rt.reg.Predict(name, req.Rows)
+	scores, err := rt.reg.PredictCtx(r.Context(), name, req.Rows)
 	if err != nil {
 		switch {
 		case errors.Is(err, registry.ErrUnknownModel):
 			httpError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, serve.ErrCanceled):
+			// The client is gone; its queued slot was released without
+			// computing the rows.
+			rt.countReject(RejectCanceled)
+			httpError(w, statusClientClosedRequest, err.Error())
 		case errors.Is(err, serve.ErrQueueFull):
 			// Queue-full 429: transient saturation, retry shortly — no
 			// X-RateLimit headers, fixed 1s backoff hint.

@@ -20,6 +20,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -225,12 +226,19 @@ func (r *Registry) Get(name string) (*Instance, error) {
 // under load drops nothing and every answer is scored entirely by one model
 // generation.
 func (r *Registry) Predict(name string, rows [][]float64) ([]float64, error) {
+	return r.PredictCtx(context.Background(), name, rows)
+}
+
+// PredictCtx is Predict bounded by the request's context: a client that
+// disconnects while its rows are still queued gets its batcher slot released
+// instead of computing a dead request (serve.ErrCanceled).
+func (r *Registry) PredictCtx(ctx context.Context, name string, rows [][]float64) ([]float64, error) {
 	for {
 		inst, err := r.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		scores, err := inst.Batcher.Do(rows)
+		scores, err := inst.Batcher.DoCtx(ctx, rows)
 		if errors.Is(err, serve.ErrClosed) {
 			if cur, gerr := r.Get(name); gerr == nil && cur != inst {
 				continue // swapped beneath us; the new instance serves

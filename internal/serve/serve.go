@@ -68,6 +68,12 @@ var ErrBadRequest = errors.New("serve: bad request")
 // (HTTP 413).
 var ErrTooLarge = errors.New("serve: request too large")
 
+// ErrCanceled is returned when the request's context ends before its batch
+// is answered — typically a client that disconnected. The queued slot is
+// released without computing the dead request (HTTP 499 by nginx
+// convention).
+var ErrCanceled = errors.New("serve: request canceled")
+
 // Config tunes the micro-batching scheduler.
 type Config struct {
 	// MaxBatch is the coalescing target: a batch dispatches as soon as it
@@ -116,6 +122,9 @@ type Stats struct {
 	// Rejected counts requests refused with ErrQueueFull; Errors counts
 	// batches whose kernel computation failed.
 	Rejected, Errors int64
+	// Canceled counts requests whose context ended while they were queued;
+	// their slot was released without computing the dead request.
+	Canceled int64
 	// QueuedJobs is the current queue occupancy.
 	QueuedJobs int
 	// PredictWall is the cumulative wall-clock inside the batched kernel

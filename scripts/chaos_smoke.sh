@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# chaos-smoke: the end-to-end fault-tolerance check used by `make chaos-smoke`
+# and CI. Trains the same tiny dataset twice — once clean over in-process
+# channels, once over the chaos-wrapped loopback-TCP wire with rank 1 crashed
+# mid-exchange plus 30% message drops — and asserts:
+#
+#   1. both runs save byte-identical SVM models (dead-rank recovery keeps the
+#      Gram, and therefore the trained model, bit-identical), and
+#   2. the chaos run actually recovered rows locally (the faults fired; the
+#      identity was earned, not vacuous).
+set -eu
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/qkernel" ./cmd/qkernel
+
+common="-size 24 -features 8 -procs 3 -seed 5"
+
+"$tmp/qkernel" $common -save "$tmp/clean.json" >"$tmp/clean.log" 2>&1 ||
+    { echo "chaos-smoke: clean run failed" >&2; cat "$tmp/clean.log" >&2; exit 1; }
+
+"$tmp/qkernel" $common -save "$tmp/chaos.json" \
+    -transport tcp -fault-crash 1 -fault-drop 0.3 -fault-seed 11 \
+    -dist-deadline 2s -dist-retries 3 -dist-backoff 1ms >"$tmp/chaos.log" 2>&1 ||
+    { echo "chaos-smoke: chaos run failed" >&2; cat "$tmp/chaos.log" >&2; exit 1; }
+
+if ! cmp -s "$tmp/clean.json" "$tmp/chaos.json"; then
+    echo "chaos-smoke: model trained under injected faults differs from the clean model" >&2
+    diff "$tmp/clean.log" "$tmp/chaos.log" >&2 || true
+    exit 1
+fi
+
+recovered=$(sed -n 's/.* \([0-9][0-9]*\) rows recovered locally.*/\1/p' "$tmp/chaos.log" | head -n 1)
+if [ -z "$recovered" ] || [ "$recovered" -eq 0 ]; then
+    echo "chaos-smoke: no rows were recovered — the fault plan never fired" >&2
+    cat "$tmp/chaos.log" >&2
+    exit 1
+fi
+
+if ! grep -q 'fault+tcp' "$tmp/chaos.log"; then
+    echo "chaos-smoke: run did not go over the chaos-wrapped tcp wire" >&2
+    cat "$tmp/chaos.log" >&2
+    exit 1
+fi
+
+echo "chaos-smoke: OK — model bit-identical under rank crash + 30% drops ($recovered rows recovered locally)"
