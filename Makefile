@@ -16,7 +16,7 @@ SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|B
 # cannot make the gate compare a run against itself.
 BASELINE := $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke chaos-smoke ci clean
+.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke chaos-smoke obs-smoke ci clean
 
 all: build
 
@@ -80,6 +80,14 @@ load-smoke:
 # nonzero locally-recovered row count proving the faults actually fired.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# obs-smoke is the end-to-end observability check: train with -trace and
+# validate the Chrome trace-event JSON via cmd/obscheck, then serve with
+# tracing + pprof, fire a request, and assert its X-Request-Id fetches a
+# span tree from /debug/trace/{id}, /metrics carries well-formed latency
+# histogram families, and the pprof side port returns a CPU profile.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 clean:
 	rm -f BENCH_*.json bench_current.json bench_baseline.json

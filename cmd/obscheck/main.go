@@ -1,0 +1,272 @@
+// Command obscheck validates observability artifacts in CI — the two
+// machine-readable outputs the obs layer produces:
+//
+//	obscheck -trace trace.json [-require 'fit,gram,rank 0,row']
+//	    Parses a Chrome trace-event JSON file (the `qkernel train -trace`
+//	    output), requires at least one event, checks every "X" event carries
+//	    a positive duration, and asserts each comma-separated required span
+//	    name appears.
+//
+//	obscheck -metrics metrics.txt [-require-family 'qkernel_serve_request_seconds,...']
+//	    Parses a Prometheus text exposition (a /metrics scrape), checks the
+//	    line grammar, and for each required family asserts it is declared as
+//	    TYPE histogram with, per labelset, monotonically non-decreasing
+//	    cumulative buckets whose le="+Inf" count equals the _count sample.
+//
+// Exit status 0 means every check passed; failures are listed on stderr.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	require := flag.String("require", "", "comma-separated span names the trace must contain")
+	metricsPath := flag.String("metrics", "", "Prometheus text exposition file to validate")
+	requireFamily := flag.String("require-family", "", "comma-separated histogram families the exposition must contain")
+	flag.Parse()
+
+	if (*tracePath == "") == (*metricsPath == "") {
+		fmt.Fprintln(os.Stderr, "obscheck: exactly one of -trace or -metrics is required")
+		os.Exit(2)
+	}
+
+	var errs []string
+	if *tracePath != "" {
+		errs = checkTrace(*tracePath, splitList(*require))
+	} else {
+		errs = checkMetrics(*metricsPath, splitList(*requireFamily))
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "obscheck:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("obscheck: ok")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// checkTrace validates one Chrome trace-event file.
+func checkTrace(path string, required []string) []string {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var tr obs.ChromeTrace
+	if err := json.Unmarshal(blob, &tr); err != nil {
+		return []string{fmt.Sprintf("%s: not valid trace-event JSON: %v", path, err)}
+	}
+	var errs []string
+	if len(tr.TraceEvents) == 0 {
+		errs = append(errs, path+": traceEvents is empty")
+	}
+	names := map[string]bool{}
+	for i, ev := range tr.TraceEvents {
+		names[ev.Name] = true
+		switch ev.Phase {
+		case "X":
+			if ev.Dur <= 0 {
+				errs = append(errs, fmt.Sprintf("%s: event %d (%q): complete event with non-positive dur %g", path, i, ev.Name, ev.Dur))
+			}
+		case "M", "i", "B", "E":
+		default:
+			errs = append(errs, fmt.Sprintf("%s: event %d (%q): unexpected phase %q", path, i, ev.Name, ev.Phase))
+		}
+	}
+	for _, want := range required {
+		if !names[want] {
+			errs = append(errs, fmt.Sprintf("%s: required span %q not present", path, want))
+		}
+	}
+	return errs
+}
+
+// sample is one parsed exposition line: metric name, raw label block
+// (sorted, le stripped for histogram grouping), le value, and the number.
+type sample struct {
+	name  string
+	le    string
+	hasLE bool
+	value float64
+}
+
+// checkMetrics validates one Prometheus text exposition.
+func checkMetrics(path string, requiredFamilies []string) []string {
+	f, err := os.Open(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defer f.Close()
+
+	var errs []string
+	types := map[string]string{} // family → TYPE
+	// samples[metricName][labelsWithoutLE] → list of samples
+	samples := map[string]map[string][]sample{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, labels, perr := parseSample(line)
+		if perr != "" {
+			errs = append(errs, fmt.Sprintf("%s:%d: %s", path, lineNo, perr))
+			continue
+		}
+		if samples[s.name] == nil {
+			samples[s.name] = map[string][]sample{}
+		}
+		samples[s.name][labels] = append(samples[s.name][labels], s)
+	}
+	if err := sc.Err(); err != nil {
+		return append(errs, err.Error())
+	}
+
+	for _, fam := range requiredFamilies {
+		if types[fam] != "histogram" {
+			errs = append(errs, fmt.Sprintf("%s: family %q not declared as TYPE histogram (got %q)", path, fam, types[fam]))
+			continue
+		}
+		buckets := samples[fam+"_bucket"]
+		counts := samples[fam+"_count"]
+		if len(buckets) == 0 {
+			errs = append(errs, fmt.Sprintf("%s: family %q has no _bucket samples", path, fam))
+			continue
+		}
+		for labels, bs := range buckets {
+			var inf *sample
+			prev := -1.0
+			for i := range bs {
+				if !bs[i].hasLE {
+					errs = append(errs, fmt.Sprintf("%s: %s_bucket{%s} sample missing le label", path, fam, labels))
+					continue
+				}
+				if bs[i].value < prev {
+					errs = append(errs, fmt.Sprintf("%s: %s_bucket{%s}: cumulative counts decrease at le=%q", path, fam, labels, bs[i].le))
+				}
+				prev = bs[i].value
+				if bs[i].le == "+Inf" {
+					inf = &bs[i]
+				}
+			}
+			if inf == nil {
+				errs = append(errs, fmt.Sprintf("%s: %s_bucket{%s} has no le=\"+Inf\" bucket", path, fam, labels))
+				continue
+			}
+			cs, ok := counts[labels]
+			if !ok || len(cs) == 0 {
+				errs = append(errs, fmt.Sprintf("%s: %s{%s} has buckets but no _count sample", path, fam, labels))
+				continue
+			}
+			if cs[0].value != inf.value {
+				errs = append(errs, fmt.Sprintf("%s: %s{%s}: le=\"+Inf\" bucket %g != _count %g", path, fam, labels, inf.value, cs[0].value))
+			}
+		}
+	}
+	return errs
+}
+
+// parseSample splits one exposition sample line into its metric name, its
+// label block normalised for histogram grouping (sorted, le removed), and
+// the parsed sample. A non-empty third return is the parse error.
+func parseSample(line string) (sample, string, string) {
+	var s sample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, "", "malformed sample line (no metric name): " + line
+	}
+	s.name = line[:nameEnd]
+	rest := line[nameEnd:]
+	var labelPairs []string
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return s, "", "unterminated label block: " + line
+		}
+		block := rest[1:close]
+		rest = rest[close+1:]
+		for _, pair := range splitLabels(block) {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				return s, "", "malformed label " + pair
+			}
+			uq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, "", "label value not a quoted string: " + pair
+			}
+			if k == "le" {
+				s.le, s.hasLE = uq, true
+				continue
+			}
+			labelPairs = append(labelPairs, k+"="+uq)
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; the value is the first field.
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		valStr = valStr[:i]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, "", "sample value not a float: " + line
+	}
+	s.value = v
+	sort.Strings(labelPairs)
+	return s, strings.Join(labelPairs, ","), ""
+}
+
+// splitLabels splits a label block on commas outside quoted values.
+func splitLabels(block string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '"':
+			if i == 0 || block[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(block[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(block[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}

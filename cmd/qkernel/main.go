@@ -47,6 +47,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dist"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/statecache"
 	"repro/internal/svm"
 )
@@ -151,6 +152,8 @@ func runLegacy(args []string) int {
 	baseline := fs.Bool("baseline", false, "also train the Gaussian-kernel baseline")
 	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	savePath := fs.String("save", "", "write the trained SVM model as JSON")
+	var lf obs.LogFlags
+	lf.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: qkernel [flags]        — one-shot run: train, evaluate, report (flags below)")
 		fmt.Fprintln(os.Stderr, "       qkernel train [flags]  — train and persist a model ('qkernel train -h')")
@@ -158,6 +161,7 @@ func runLegacy(args []string) int {
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
+	lf.Setup()
 
 	strategy, err := dist.ParseStrategy(*strategyName)
 	if err != nil {

@@ -5,13 +5,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	servehttp "repro/internal/serve/http"
 	"repro/internal/serve/registry"
@@ -39,7 +42,12 @@ func runServe(args []string) int {
 	rateLimit := fs.Float64("rate-limit", 0, "per-API-key token-bucket rate limit in requests/second (0 disables)")
 	rateBurst := fs.Int("rate-burst", 0, "rate-limit bucket capacity (0 derives from -rate-limit)")
 	admin := fs.Bool("admin", false, "expose POST /admin/reload (hot model swap)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (port 0 picks a free port; empty disables)")
+	traceRing := fs.Int("trace-ring", obs.DefaultRingCapacity, "recent request/batch traces retained for GET /debug/trace/{id} (0 disables tracing)")
+	var lf obs.LogFlags
+	lf.Register(fs)
 	_ = fs.Parse(args)
+	lf.Setup()
 
 	var specs []registry.Spec
 	var err error
@@ -56,9 +64,17 @@ func runServe(args []string) int {
 		return fail(fmt.Errorf("serve: -model or -models is required"))
 	}
 
+	// One tracer is shared by the router (request traces, /debug/trace) and
+	// every model's batcher (batch traces, phase reconstruction); nil keeps
+	// both disabled while the latency histograms stay live.
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing)
+	}
+
 	regCfg := registry.Config{
 		Procs: *procs,
-		Batch: serve.Config{MaxBatch: *batch, MaxWait: *batchWait, QueueDepth: *queue},
+		Batch: serve.Config{MaxBatch: *batch, MaxWait: *batchWait, QueueDepth: *queue, Obs: tracer},
 	}
 	switch {
 	case *cacheMB > 0:
@@ -89,7 +105,29 @@ func runServe(args []string) int {
 		RateLimit:   *rateLimit,
 		RateBurst:   *rateBurst,
 		EnableAdmin: *admin,
+		Obs:         tracer,
 	})
+
+	// The profiler listens on its own address so /debug/pprof is never part
+	// of the public prediction surface.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fail(fmt.Errorf("pprof: %w", err))
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("qkernel serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Error("pprof server exited", "err", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,8 +141,12 @@ func runServe(args []string) int {
 	if *admin {
 		adminState = "admin reload on"
 	}
-	fmt.Printf("qkernel serve: listening on http://%s (%d models, batch %d, batch-wait %v, queue %d, %s, %s)\n",
-		ln.Addr(), len(specs), *batch, *batchWait, *queue, limits, adminState)
+	traceState := "tracing off"
+	if tracer.Enabled() {
+		traceState = fmt.Sprintf("trace ring %d", *traceRing)
+	}
+	fmt.Printf("qkernel serve: listening on http://%s (%d models, batch %d, batch-wait %v, queue %d, %s, %s, %s)\n",
+		ln.Addr(), len(specs), *batch, *batchWait, *queue, limits, adminState, traceState)
 
 	// SIGHUP is the operator's hot-reload signal: re-stat every model path
 	// and atomically swap the changed ones with zero dropped requests.
@@ -113,14 +155,16 @@ func runServe(args []string) int {
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
+			// The registry logs the swap/fail detail itself; this loop only
+			// narrates the no-op case at debug.
 			for _, res := range reg.ReloadAll(false) {
 				switch {
 				case res.Error != "":
-					fmt.Printf("qkernel serve: SIGHUP reload %q failed: %s (old model keeps serving)\n", res.Name, res.Error)
+					slog.Warn("SIGHUP reload failed; old model keeps serving", "model", res.Name, "err", res.Error)
 				case res.Swapped:
-					fmt.Printf("qkernel serve: SIGHUP reloaded %q (fingerprint %s)\n", res.Name, res.Fingerprint)
+					slog.Info("SIGHUP reloaded model", "model", res.Name, "fingerprint", res.Fingerprint)
 				default:
-					fmt.Printf("qkernel serve: SIGHUP: %q unchanged\n", res.Name)
+					slog.Debug("SIGHUP: model unchanged", "model", res.Name)
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // runTrain is the `qkernel train` subcommand: fit through the core pipeline
@@ -30,7 +32,11 @@ func runTrain(args []string) int {
 	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	cFlag := fs.Float64("c", 0, "SVM box constraint (0 sweeps the paper's grid)")
 	out := fs.String("out", "", "write the trained model here (required)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing)")
+	var lf obs.LogFlags
+	lf.Register(fs)
 	_ = fs.Parse(args)
+	lf.Setup()
 	if *out == "" {
 		return fail(fmt.Errorf("train: -out is required"))
 	}
@@ -65,8 +71,19 @@ func runTrain(args []string) int {
 		return fail(err)
 	}
 
+	// With -trace, the whole run is recorded under one trace: the fit span
+	// tree (gram → per-rank → per-row/cache spans) and the held-out
+	// evaluation nest under the root, and the tree is written as Chrome
+	// trace-event JSON on the way out.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.NewTrace(obs.NewID(), "qkernel train")
+		ctx = obs.ContextWithSpan(ctx, tr.Root())
+	}
+
 	t0 := time.Now()
-	model, report, err := fw.Fit(train.X, train.Y)
+	model, report, err := fw.FitCtx(ctx, train.X, train.Y)
 	if err != nil {
 		return fail(err)
 	}
@@ -78,14 +95,36 @@ func runTrain(args []string) int {
 		fmt.Printf("fault recovery: %d send retries, %d recv timeouts, %d rows recovered locally\n",
 			report.Retries, report.Timeouts, report.RecoveredRows)
 	}
+	if rc := report.RowCosts; rc.Count > 0 {
+		fmt.Printf("row costs: %d rows simulated, min %v / mean %v / max %v, total %v\n",
+			rc.Count, rc.Min.Round(time.Microsecond), rc.Mean.Round(time.Microsecond),
+			rc.Max.Round(time.Microsecond), rc.Total.Round(time.Millisecond))
+	}
 
 	if test.Len() > 0 {
-		met, err := fw.Evaluate(model, test.X, test.Y)
+		met, err := fw.EvaluateCtx(ctx, model, test.X, test.Y)
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Printf("held-out: AUC %.3f  recall %.3f  precision %.3f  accuracy %.3f\n",
 			met.AUC, met.Recall, met.Precision, met.Accuracy)
+	}
+
+	if tr != nil {
+		tr.Root().End()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := obs.WriteChrome(f, tr); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Printf("trace: wrote %s (%d events) — load in Perfetto or chrome://tracing\n",
+			*tracePath, len(obs.ChromeEvents(tr)))
 	}
 
 	if err := model.Save(*out); err != nil {

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -72,7 +73,7 @@ func main() {
 			body, _ := json.Marshal(servehttp.PredictRequest{Rows: [][]float64{row}})
 			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 			if err != nil {
-				log.Printf("client %d: %v", c, err)
+				slog.Warn("client request failed", "client", c, "err", err)
 				return
 			}
 			defer resp.Body.Close()
@@ -83,7 +84,7 @@ func main() {
 			}
 			var pr servehttp.PredictResponse
 			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil || len(pr.Scores) != 1 {
-				log.Printf("client %d: decode: %v", c, err)
+				slog.Warn("client decode failed", "client", c, "err", err)
 				return
 			}
 			fmt.Printf("client %2d: HTTP %d, model %-7s score %+.4f, label %+d\n",

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/obs"
 	"repro/internal/statecache"
 	"repro/internal/svm"
 )
@@ -107,10 +109,65 @@ type Framework struct {
 	cacheBudget int64
 	q           *kernel.Quantum
 
-	// commMu guards comm, the cumulative wire activity of every distributed
-	// kernel computation this framework has run (Fit and Predict).
-	commMu sync.Mutex
-	comm   CommStats
+	// commMu guards comm and rowCosts, the cumulative wire activity and
+	// per-row materialisation costs of every distributed kernel computation
+	// this framework has run (Fit and Predict).
+	commMu   sync.Mutex
+	comm     CommStats
+	rowCosts RowCostSummary
+}
+
+// RowCostSummary condenses measured per-row state-materialisation wall-clock
+// (dist.Result.ObservedRowCosts) into the moments an operator — and the
+// ROADMAP's self-tuning distribution item — needs: how many rows were
+// measured, the spread, and the total. Served in /stats and narrated in the
+// FitReport.
+type RowCostSummary struct {
+	Count int           `json:"count"`
+	Min   time.Duration `json:"min"`
+	Mean  time.Duration `json:"mean"`
+	Max   time.Duration `json:"max"`
+	Total time.Duration `json:"total"`
+}
+
+// SummarizeRowCosts folds observed per-row costs into a summary, skipping
+// zero entries (rows another rank owned, or never measured).
+func SummarizeRowCosts(costs []time.Duration) RowCostSummary {
+	var s RowCostSummary
+	for _, c := range costs {
+		if c <= 0 {
+			continue
+		}
+		if s.Count == 0 || c < s.Min {
+			s.Min = c
+		}
+		if c > s.Max {
+			s.Max = c
+		}
+		s.Total += c
+		s.Count++
+	}
+	if s.Count > 0 {
+		s.Mean = s.Total / time.Duration(s.Count)
+	}
+	return s
+}
+
+// merge folds another summary into s (cumulative accounting across
+// computations).
+func (s *RowCostSummary) merge(o RowCostSummary) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Total += o.Total
+	s.Count += o.Count
+	s.Mean = s.Total / time.Duration(s.Count)
 }
 
 // CommStats aggregates the distributed-wire activity of a framework: how
@@ -171,8 +228,9 @@ func New(opts Options) (*Framework, error) {
 	}, nil
 }
 
-// distOptions maps the framework's options onto one distributed computation.
-func (f *Framework) distOptions() dist.Options {
+// distOptions maps the framework's options onto one distributed computation,
+// parented under sp for tracing (nil = untraced).
+func (f *Framework) distOptions(sp *obs.Span) dist.Options {
 	return dist.Options{
 		Procs:      f.opts.Procs,
 		Strategy:   f.opts.Strategy,
@@ -180,6 +238,7 @@ func (f *Framework) distOptions() dist.Options {
 		Deadline:   f.opts.DistDeadline,
 		MaxRetries: f.opts.DistRetries,
 		Backoff:    f.opts.DistBackoff,
+		Span:       sp,
 	}
 }
 
@@ -195,6 +254,15 @@ func (f *Framework) recordComm(res *dist.Result) {
 	f.comm.Retries += int64(res.TotalRetries())
 	f.comm.Timeouts += int64(res.TotalTimeouts())
 	f.comm.RecoveredRows += int64(res.TotalRecoveredRows())
+	f.rowCosts.merge(SummarizeRowCosts(res.ObservedRowCosts))
+}
+
+// RowCostStats snapshots the cumulative per-row materialisation cost summary
+// across every kernel computation this framework has run.
+func (f *Framework) RowCostStats() RowCostSummary {
+	f.commMu.Lock()
+	defer f.commMu.Unlock()
+	return f.rowCosts
 }
 
 // CommStats snapshots the framework's cumulative distributed-wire counters.
@@ -291,15 +359,35 @@ type FitReport struct {
 	Retries       int
 	Timeouts      int
 	RecoveredRows int
+	// RowCosts summarises the measured per-row state-materialisation
+	// wall-clock of this Fit's Gram computation (the EstimateRowCost
+	// calibration ground truth).
+	RowCosts RowCostSummary
 }
 
 // Fit computes the training Gram matrix with the configured distribution
 // strategy and trains the SVM. Labels are ±1.
 func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
+	return f.FitCtx(context.Background(), X, y)
+}
+
+// FitCtx is Fit under a context: when the context carries a span
+// (obs.ContextWithSpan), the training run records its trace under it — a fit
+// span with gram and svm_train phases, one child per distributed rank, and
+// per-row simulation/cache spans below those.
+func (f *Framework) FitCtx(ctx context.Context, X [][]float64, y []int) (*Model, *FitReport, error) {
 	if len(X) != len(y) {
 		return nil, nil, fmt.Errorf("core: %d rows for %d labels", len(X), len(y))
 	}
-	res, err := dist.ComputeGram(f.q, X, f.distOptions())
+	fitSp := obs.SpanFromContext(ctx).Child("fit")
+	fitSp.SetAttr("rows", len(X))
+	defer fitSp.End()
+	gramSp := fitSp.Child("gram")
+	gramSp.SetAttr("procs", f.opts.Procs)
+	gramSp.SetAttr("strategy", f.opts.Strategy.String())
+	gramSp.SetAttr("transport", dist.TransportName(f.opts.Transport))
+	res, err := dist.ComputeGram(f.q, X, f.distOptions(gramSp))
+	gramSp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: gram: %w", err)
 	}
@@ -311,14 +399,17 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 	report.Retries = res.TotalRetries()
 	report.Timeouts = res.TotalTimeouts()
 	report.RecoveredRows = res.TotalRecoveredRows()
+	report.RowCosts = SummarizeRowCosts(res.ObservedRowCosts)
 	if total := report.CacheHits + report.CacheMisses; total > 0 && f.q.Cache != nil {
 		report.CacheHitRate = float64(report.CacheHits) / float64(total)
 	}
 
+	svmSp := fitSp.Child("svm_train")
 	var model *svm.Model
 	if f.opts.C > 0 {
 		model, err = svm.Train(res.Gram, y, f.opts.C, 0)
 		if err != nil {
+			svmSp.End()
 			return nil, nil, fmt.Errorf("core: svm: %w", err)
 		}
 		report.BestC = f.opts.C
@@ -328,10 +419,12 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 		// overfitted model), then retrain on the full set.
 		report.BestC, err = selectC(res.Gram, y)
 		if err != nil {
+			svmSp.End()
 			return nil, nil, fmt.Errorf("core: C selection: %w", err)
 		}
 		model, err = svm.Train(res.Gram, y, report.BestC, 0)
 		if err != nil {
+			svmSp.End()
 			return nil, nil, fmt.Errorf("core: svm: %w", err)
 		}
 	}
@@ -341,6 +434,9 @@ func (f *Framework) Fit(X [][]float64, y []int) (*Model, *FitReport, error) {
 		}
 	}
 	report.SupportVecs = len(model.SupportVectors())
+	svmSp.SetAttr("best_c", report.BestC)
+	svmSp.SetAttr("support_vecs", report.SupportVecs)
+	svmSp.End()
 	return &Model{
 		SVM: model, TrainX: X, TrainY: y, States: f.retainStates(res.States),
 		opts: f.opts, fingerprint: f.q.Fingerprint(),
@@ -424,26 +520,47 @@ func bothClasses(y []int, idx []int) bool {
 // Fit), only the new rows are simulated; otherwise the training rows are
 // re-materialised through the state cache.
 func (f *Framework) Predict(m *Model, X [][]float64) ([]float64, error) {
+	return f.PredictCtx(context.Background(), m, X)
+}
+
+// PredictCtx is Predict under a context: when the context carries a span,
+// the inference records its trace under it — a cross_kernel span with one
+// child per rank and per-row spans, then a decision span for the SVM scoring.
+func (f *Framework) PredictCtx(ctx context.Context, m *Model, X [][]float64) ([]float64, error) {
 	if m == nil || m.SVM == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
+	sp := obs.SpanFromContext(ctx)
+	kSp := sp.Child("cross_kernel")
+	kSp.SetAttr("rows", len(X))
 	var res *dist.Result
 	var err error
 	if m.States != nil {
-		res, err = dist.ComputeCrossStates(f.q, X, m.States, f.distOptions())
+		kSp.SetAttr("path", "retained-states")
+		res, err = dist.ComputeCrossStates(f.q, X, m.States, f.distOptions(kSp))
 	} else {
-		res, err = dist.ComputeCross(f.q, X, m.TrainX, f.distOptions())
+		kSp.SetAttr("path", "resimulate")
+		res, err = dist.ComputeCross(f.q, X, m.TrainX, f.distOptions(kSp))
 	}
+	kSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: inference kernel: %w", err)
 	}
 	f.recordComm(res)
-	return m.SVM.DecisionBatch(res.Gram)
+	decSp := sp.Child("decision")
+	scores, err := m.SVM.DecisionBatch(res.Gram)
+	decSp.End()
+	return scores, err
 }
 
 // Evaluate scores the model on labelled data.
 func (f *Framework) Evaluate(m *Model, X [][]float64, y []int) (svm.Metrics, error) {
-	scores, err := f.Predict(m, X)
+	return f.EvaluateCtx(context.Background(), m, X, y)
+}
+
+// EvaluateCtx is Evaluate under a context carrying an optional trace span.
+func (f *Framework) EvaluateCtx(ctx context.Context, m *Model, X [][]float64, y []int) (svm.Metrics, error) {
+	scores, err := f.PredictCtx(ctx, m, X)
 	if err != nil {
 		return svm.Metrics{}, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
 
 // runCrossRoundRobin computes the rectangular test×train kernel: test rows
@@ -32,18 +33,22 @@ func runCrossRoundRobin(q *kernel.Quantum, testX, trainX [][]float64, gram [][]f
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], net.Endpoint(p), k, &simBarrier, &failed, opts)
+			sp := rankSpan(opts.Span, p)
+			errs[p] = crossProcRR(q, testX, trainX, gram, &stats[p], net.Endpoint(p), k, &simBarrier, &failed, opts, sp)
+			sp.End()
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool, opts Options) error {
+func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool, opts Options, sp *obs.Span) error {
 	p := st.Rank
 	ownedTest := ownedIndices(len(testX), k, p)
 	ownedTrain := ownedIndices(len(trainX), k, p)
 	pl := procPool(q, k)
+	sp.SetAttr("test_rows", len(ownedTest))
+	sp.SetAttr("train_rows", len(ownedTrain))
 
 	// Phase 1: materialise both local shards (test rows, then train
 	// columns) in a single pool pass — one shard alone may be smaller than
@@ -54,25 +59,40 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	trainStates := make([]*mps.MPS, len(ownedTrain))
 	hits := make([]bool, nt+len(ownedTrain))
 	var simErr error
+	simSp := sp.Child("simulate")
 	st.SimTime = timed(func() {
 		simErr = pl.runErrSim(nt+len(ownedTrain), func(sw *mps.SimWorkspace, a int) error {
+			rowSp := simSp.Child("row")
 			if a < nt {
-				s, hit, err := q.StateCachedWS(testX[ownedTest[a]], sw)
+				s, hit, err := q.StateCachedSpan(testX[ownedTest[a]], sw, rowSp)
+				rowSp.SetAttr("row", ownedTest[a])
+				rowSp.SetAttr("shard", "test")
 				if err != nil {
+					rowSp.End()
 					return simErrf(p, "test", ownedTest[a], err)
 				}
+				rowSp.SetAttr("hit", hit)
+				rowSp.SetAttr("chi", s.MaxBond())
+				rowSp.End()
 				testStates[a], hits[a] = s, hit
 				return nil
 			}
 			b := a - nt
-			s, hit, err := q.StateCachedWS(trainX[ownedTrain[b]], sw)
+			s, hit, err := q.StateCachedSpan(trainX[ownedTrain[b]], sw, rowSp)
+			rowSp.SetAttr("row", ownedTrain[b])
+			rowSp.SetAttr("shard", "train")
 			if err != nil {
+				rowSp.End()
 				return simErrf(p, "train", ownedTrain[b], err)
 			}
+			rowSp.SetAttr("hit", hit)
+			rowSp.SetAttr("chi", s.MaxBond())
+			rowSp.End()
 			trainStates[b], hits[a] = s, hit
 			return nil
 		})
 	})
+	simSp.End()
 	tallyHits(st, hits)
 	if simErr != nil {
 		failed.Store(true)
@@ -94,13 +114,15 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	var own Shard
 	var marshalErr error
 	var crashed bool
+	sendSp := sp.Child("exchange_send")
 	st.CommTime += timed(func() {
 		own, marshalErr = marshalShard(p, ownedTrain, trainStates)
 		if marshalErr != nil {
 			own = Shard{From: p}
 		}
-		crashed = sendRing(p, own, ep, k, opts, st)
+		crashed = sendRing(p, own, ep, k, opts, st, sendSp)
 	})
+	sendSp.End()
 	if marshalErr != nil {
 		return marshalErr
 	}
@@ -154,7 +176,9 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 		})
 		return nil
 	}
-	dead, missing, err := exchangeRecv(ep, k, p, opts, st, onShard)
+	recvSp := sp.Child("exchange_recv")
+	dead, missing, err := exchangeRecv(ep, k, p, opts, st, recvSp, onShard)
+	recvSp.End()
 	if err != nil {
 		return err
 	}
@@ -162,7 +186,12 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 		st.InnerProducts += c
 	}
 	if len(dead)+len(missing) > 0 {
-		return recoverCross(q, testX, trainX, gram, st, pl, k, ownedTest, testStates, trainAll, dead, missing)
+		recSp := sp.Child("recover")
+		recSp.SetAttr("dead", len(dead))
+		recSp.SetAttr("missing", len(missing))
+		err := recoverCross(q, testX, trainX, gram, st, pl, k, ownedTest, testStates, trainAll, dead, missing, recSp)
+		recSp.End()
+		return err
 	}
 	return nil
 }
@@ -176,7 +205,7 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 // re-simulates those test rows and fills their complete rows against the
 // full training side. Orientation is the serial path's (test state first),
 // so recovery stays bit-identical.
-func recoverCross(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, pl pool, k int, ownedTest []int, testStates []*mps.MPS, trainAll []*mps.MPS, dead, missing []int) error {
+func recoverCross(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64, st *ProcStats, pl pool, k int, ownedTest []int, testStates []*mps.MPS, trainAll []*mps.MPS, dead, missing []int, sp *obs.Span) error {
 	deadSet := make(map[int]bool, len(dead))
 	for _, c := range dead {
 		deadSet[c] = true
@@ -191,12 +220,13 @@ func recoverCross(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64
 		sts := make([]*mps.MPS, len(trainIdx))
 		var simErr error
 		st.SimTime += timed(func() {
-			simErr = simulateOwned(q, trainX, trainIdx, sts, pl, st, "recovered train", nil)
+			simErr = simulateOwned(q, trainX, trainIdx, sts, pl, st, "recovered train", nil, sp)
 		})
 		if simErr != nil {
 			return simErr
 		}
 		st.RecoveredRows += len(trainIdx)
+		sp.Event("recovered_rows", obs.KV("rank", c), obs.KV("rows", len(trainIdx)), obs.KV("shard", "train"))
 		for b, j := range trainIdx {
 			trainAll[j] = sts[b]
 		}
@@ -231,12 +261,13 @@ func recoverCross(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64
 		sts := make([]*mps.MPS, len(testIdx))
 		var simErr error
 		st.SimTime += timed(func() {
-			simErr = simulateOwned(q, testX, testIdx, sts, pl, st, "recovered test", nil)
+			simErr = simulateOwned(q, testX, testIdx, sts, pl, st, "recovered test", nil, sp)
 		})
 		if simErr != nil {
 			return simErr
 		}
 		st.RecoveredRows += len(testIdx)
+		sp.Event("recovered_rows", obs.KV("rank", c), obs.KV("rows", len(testIdx)), obs.KV("shard", "test"))
 		cnt := make([]int, len(testIdx))
 		st.InnerTime += timed(func() {
 			pl.runWS(len(testIdx), func(ws *mps.Workspace, a int) {
@@ -262,7 +293,7 @@ func recoverCross(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64
 // so a skewed inference batch does not serialise behind one process.
 // rowCosts (nil to skip) receives each owned test row's measured
 // materialisation wall-clock at its test-row index.
-func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, stats []ProcStats, rowCosts []time.Duration) error {
+func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, stats []ProcStats, rowCosts []time.Duration, parent *obs.Span) error {
 	k := len(stats)
 	assign := costBalancedIndices(q.Ansatz, testX, k)
 	errs := make([]error, k)
@@ -271,25 +302,30 @@ func runCrossLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS,
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k, assign[p], rowCosts)
+			sp := rankSpan(parent, p)
+			errs[p] = crossProcLocal(q, testX, trainStates, gram, &stats[p], k, assign[p], rowCosts, sp)
+			sp.End()
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int, ownedTest []int, rowCosts []time.Duration) error {
+func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS, gram [][]float64, st *ProcStats, k int, ownedTest []int, rowCosts []time.Duration, sp *obs.Span) error {
 	if len(ownedTest) == 0 {
 		return nil
 	}
 	pl := procPool(q, k)
+	sp.SetAttr("test_rows", len(ownedTest))
 
 	testStates := make([]*mps.MPS, len(ownedTest))
 	costs := make([]time.Duration, len(ownedTest))
 	var simErr error
+	simSp := sp.Child("simulate")
 	st.SimTime = timed(func() {
-		simErr = simulateOwned(q, testX, ownedTest, testStates, pl, st, "test", costs)
+		simErr = simulateOwned(q, testX, ownedTest, testStates, pl, st, "test", costs, simSp)
 	})
+	simSp.End()
 	if simErr != nil {
 		return simErr
 	}
@@ -300,6 +336,7 @@ func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS
 	}
 
 	counts := make([]int, len(ownedTest))
+	innerSp := sp.Child("inner_products")
 	st.InnerTime = timed(func() {
 		pl.runWS(len(ownedTest), func(ws *mps.Workspace, a int) {
 			i := ownedTest[a]
@@ -310,6 +347,7 @@ func crossProcLocal(q *kernel.Quantum, testX [][]float64, trainStates []*mps.MPS
 			}
 		})
 	})
+	innerSp.End()
 	for _, c := range counts {
 		st.InnerProducts += c
 	}

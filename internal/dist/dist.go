@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
 
 // Strategy selects how Gram-matrix work is split across the simulated
@@ -95,6 +96,14 @@ type Options struct {
 	// Backoff is the base of the exponential backoff + deterministic jitter
 	// between send retries (retryBackoff). 0 selects DefaultBackoff.
 	Backoff time.Duration
+	// Span, when non-nil, is the parent under which the computation records
+	// its trace: one child span per rank (tracked rank+1 for side-by-side
+	// timelines), simulate/exchange/recover phase spans inside each, per-row
+	// materialisation spans carrying the row index, cache outcome and χ, and
+	// point events for every retry, timeout, duplicate drop, dead-rank
+	// envelope and recovered row. Nil (the default) records nothing and costs
+	// one branch per instrumentation site.
+	Span *obs.Span
 }
 
 // Fault-tolerance defaults: generous enough that a healthy slow run never
@@ -340,7 +349,7 @@ func ComputeGram(q *kernel.Quantum, X [][]float64, opts Options) (*Result, error
 		// cannot park all the heavy rows on one process (see balance.go).
 		err = runGramRoundRobin(q, X, gram, retain, stats, costBalancedIndices(q.Ansatz, X, opts.Procs), opts, rowCosts)
 	case NoMessaging:
-		err = runGramNoMessaging(q, X, gram, retain, stats, rowCosts)
+		err = runGramNoMessaging(q, X, gram, retain, stats, rowCosts, opts.Span)
 	default:
 		return nil, fmt.Errorf("dist: unknown strategy %v", opts.Strategy)
 	}
@@ -398,7 +407,7 @@ func ComputeCrossStates(q *kernel.Quantum, testX [][]float64, trainStates []*mps
 	gram := rect(len(testX), len(trainStates))
 	stats := newStats(opts.Procs)
 	rowCosts := make([]time.Duration, len(testX))
-	if err := runCrossLocal(q, testX, trainStates, gram, stats, rowCosts); err != nil {
+	if err := runCrossLocal(q, testX, trainStates, gram, stats, rowCosts, opts.Span); err != nil {
 		return nil, err
 	}
 	return &Result{Gram: gram, Wall: time.Since(start), Procs: stats, ObservedRowCosts: rowCosts}, nil

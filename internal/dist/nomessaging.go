@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
 
 // runGramNoMessaging executes the no-messaging strategy: Gram rows are
@@ -17,7 +18,7 @@ import (
 // collapses the redundancy to one simulation per state cluster-wide.
 // rowCosts (nil to skip) receives each owned row's measured materialisation
 // wall-clock at its global index.
-func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats, rowCosts []time.Duration) error {
+func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, stats []ProcStats, rowCosts []time.Duration, parent *obs.Span) error {
 	k := len(stats)
 	errs := make([]error, k)
 	var wg sync.WaitGroup
@@ -25,14 +26,16 @@ func runGramNoMessaging(q *kernel.Quantum, X [][]float64, gram [][]float64, reta
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcNM(q, X, gram, retain, &stats[p], k, rowCosts)
+			sp := rankSpan(parent, p)
+			errs[p] = gramProcNM(q, X, gram, retain, &stats[p], k, rowCosts, sp)
+			sp.End()
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, k int, rowCosts []time.Duration) error {
+func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, k int, rowCosts []time.Duration, sp *obs.Span) error {
 	n := len(X)
 	p := st.Rank
 	owned := ownedIndices(n, k, p)
@@ -51,9 +54,12 @@ func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	local := make([]*mps.MPS, len(needed))
 	costs := make([]time.Duration, len(needed))
 	var simErr error
+	sp.SetAttr("rows", len(owned))
+	simSp := sp.Child("simulate")
 	st.SimTime = timed(func() {
-		simErr = simulateOwned(q, X, needed, local, pl, st, "", costs)
+		simErr = simulateOwned(q, X, needed, local, pl, st, "", costs, simSp)
 	})
+	simSp.End()
 	if simErr != nil {
 		return simErr
 	}
@@ -80,6 +86,7 @@ func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 
 	// Phase 2: the upper triangle of the owned rows, diagonal included.
 	counts := make([]int, len(owned))
+	triSp := sp.Child("local_triangle")
 	st.InnerTime = timed(func() {
 		pl.runWS(len(owned), func(ws *mps.Workspace, a int) {
 			i := owned[a]
@@ -89,6 +96,7 @@ func gramProcNM(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 			}
 		})
 	})
+	triSp.End()
 	for _, c := range counts {
 		st.InnerProducts += c
 	}

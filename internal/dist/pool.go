@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
 
 // pool runs one simulated process's intra-process work (state simulations,
@@ -142,19 +143,27 @@ func (pl pool) runErrSim(n int, f func(sw *mps.SimWorkspace, i int) error) error
 // owned) and recording per-process simulation/hit counts into st. costs
 // (parallel to owned; nil to skip) receives each state's measured
 // materialisation wall-clock — the per-row ground truth that calibrates
-// EstimateRowCost. Returns the first error by owned position; label names
-// the shard in errors.
-func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string, costs []time.Duration) error {
+// EstimateRowCost. sp (nil to skip) receives one child span per row carrying
+// the row index, cache outcome and resulting χ. Returns the first error by
+// owned position; label names the shard in errors.
+func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string, costs []time.Duration, sp *obs.Span) error {
 	hits := make([]bool, len(owned))
 	err := pl.runErrSim(len(owned), func(sw *mps.SimWorkspace, a int) error {
+		rowSp := sp.Child("row")
 		t0 := time.Now()
-		s, hit, err := q.StateCachedWS(X[owned[a]], sw)
+		s, hit, err := q.StateCachedSpan(X[owned[a]], sw, rowSp)
 		if costs != nil {
 			costs[a] = time.Since(t0)
 		}
+		rowSp.SetAttr("row", owned[a])
 		if err != nil {
+			rowSp.SetAttr("error", err.Error())
+			rowSp.End()
 			return simErrf(st.Rank, label, owned[a], err)
 		}
+		rowSp.SetAttr("hit", hit)
+		rowSp.SetAttr("chi", s.MaxBond())
+		rowSp.End()
 		dst[a], hits[a] = s, hit
 		return nil
 	})

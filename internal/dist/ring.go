@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
 
 // Shard wire framing: a shard message carries its origin rank and state
@@ -73,7 +74,7 @@ func unmarshalShard(s Shard, cfg mps.Config) ([]*mps.MPS, error) {
 // send failure is retried up to o.MaxRetries times with exponential backoff
 // + deterministic jitter. ErrRankCrashed is never retried — it is the
 // sender's own death, not a wire hiccup.
-func retrySend(ep Endpoint, to int, s Shard, o Options, st *ProcStats) (int64, error) {
+func retrySend(ep Endpoint, to int, s Shard, o Options, st *ProcStats, sp *obs.Span) (int64, error) {
 	for attempt := 0; ; attempt++ {
 		b, err := ep.Send(to, s)
 		if err == nil {
@@ -83,6 +84,7 @@ func retrySend(ep Endpoint, to int, s Shard, o Options, st *ProcStats) (int64, e
 			return 0, err
 		}
 		st.Retries++
+		sp.Event("retry", obs.KV("to", to), obs.KV("attempt", attempt+1))
 		time.Sleep(retryBackoff(o.Backoff, attempt+1, uint64(to)))
 	}
 }
@@ -98,14 +100,16 @@ func retrySend(ep Endpoint, to int, s Shard, o Options, st *ProcStats) (int64, e
 // deadline-driven recovery covers the undelivered shard. The exception is
 // ErrRankCrashed — the sender's own injected death — which aborts
 // immediately; the caller abandons the exchange without publishing results.
-func sendRing(p int, s Shard, ep Endpoint, k int, o Options, st *ProcStats) (crashed bool) {
+func sendRing(p int, s Shard, ep Endpoint, k int, o Options, st *ProcStats, sp *obs.Span) (crashed bool) {
 	for r := 1; r < k; r++ {
-		b, err := retrySend(ep, (p+r)%k, s, o, st)
+		b, err := retrySend(ep, (p+r)%k, s, o, st, sp)
 		if err != nil {
 			if errors.Is(err, ErrRankCrashed) {
+				sp.Event("crashed")
 				return true
 			}
 			st.SendFailures++
+			sp.Event("send_failure", obs.KV("to", (p+r)%k))
 			continue
 		}
 		st.MessagesSent++
@@ -130,7 +134,7 @@ func sendRing(p int, s Shard, ep Endpoint, k int, o Options, st *ProcStats) (cra
 //   - ErrRankCrashed (self's own injected death) and onShard errors abort.
 //
 // The wait time lands in CommTime; onShard does its own phase accounting.
-func exchangeRecv(ep Endpoint, k, self int, o Options, st *ProcStats, onShard func(Shard) error) (dead, missing []int, err error) {
+func exchangeRecv(ep Endpoint, k, self int, o Options, st *ProcStats, sp *obs.Span, onShard func(Shard) error) (dead, missing []int, err error) {
 	seen := make([]bool, k)
 	seen[self] = true
 	deadSet := make([]bool, k)
@@ -149,10 +153,12 @@ func exchangeRecv(ep Endpoint, k, self int, o Options, st *ProcStats, onShard fu
 			}
 			if seen[from] || deadSet[from] {
 				st.DupsDropped++
+				sp.Event("dup_dropped", obs.KV("from", from))
 				continue
 			}
 			seen[from] = true
 			pending--
+			sp.Event("shard_recv", obs.KV("from", from), obs.KV("bytes", in.WireBytes()))
 			if onErr := onShard(in); onErr != nil {
 				return nil, nil, onErr
 			}
@@ -163,8 +169,10 @@ func exchangeRecv(ep Endpoint, k, self int, o Options, st *ProcStats, onShard fu
 					missing = append(missing, r)
 				}
 			}
+			sp.Event("timeout", obs.KV("missing", len(missing)))
 			return dead, missing, nil
 		case errors.Is(recvErr, ErrRankCrashed):
+			sp.Event("crashed")
 			return nil, nil, recvErr
 		default:
 			var rf *RankFailedError
@@ -173,6 +181,7 @@ func exchangeRecv(ep Endpoint, k, self int, o Options, st *ProcStats, onShard fu
 					deadSet[rf.Rank] = true
 					dead = append(dead, rf.Rank)
 					pending--
+					sp.Event("rank_dead", obs.KV("rank", rf.Rank))
 				}
 				continue
 			}

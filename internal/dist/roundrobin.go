@@ -2,13 +2,23 @@ package dist
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
+
+// rankSpan opens one rank's span under the computation's parent, on its own
+// display track (rank+1; track 0 stays with the coordinating caller).
+func rankSpan(parent *obs.Span, p int) *obs.Span {
+	sp := parent.Child("rank " + strconv.Itoa(p))
+	sp.SetTrack(p + 1)
+	return sp
+}
 
 // runGramRoundRobin executes the round-robin strategy: one goroutine per
 // process, a simulation barrier, then the ring exchange of serialised shards
@@ -33,17 +43,20 @@ func runGramRoundRobin(q *kernel.Quantum, X [][]float64, gram [][]float64, retai
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], net.Endpoint(p), k, &simBarrier, &failed, assign, opts, rowCosts)
+			sp := rankSpan(opts.Span, p)
+			errs[p] = gramProcRR(q, X, gram, retain, &stats[p], net.Endpoint(p), k, &simBarrier, &failed, assign, opts, rowCosts, sp)
+			sp.End()
 		}(p)
 	}
 	wg.Wait()
 	return firstError(errs)
 }
 
-func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool, assign [][]int, opts Options, rowCosts []time.Duration) error {
+func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, ep Endpoint, k int, simBarrier *sync.WaitGroup, failed *atomic.Bool, assign [][]int, opts Options, rowCosts []time.Duration, sp *obs.Span) error {
 	p := st.Rank
 	owned := assign[p]
 	pl := procPool(q, k)
+	sp.SetAttr("rows", len(owned))
 
 	// Phase 1: materialise the local shard (simulating on cache misses),
 	// then synchronise — the exchange must not start while any process can
@@ -52,9 +65,11 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	states := make([]*mps.MPS, len(owned))
 	costs := make([]time.Duration, len(owned))
 	var simErr error
+	simSp := sp.Child("simulate")
 	st.SimTime = timed(func() {
-		simErr = simulateOwned(q, X, owned, states, pl, st, "", costs)
+		simErr = simulateOwned(q, X, owned, states, pl, st, "", costs, simSp)
 	})
+	simSp.End()
 	if simErr != nil {
 		failed.Store(true)
 	}
@@ -79,13 +94,15 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	var own Shard
 	var marshalErr error
 	var crashed bool
+	sendSp := sp.Child("exchange_send")
 	st.CommTime += timed(func() {
 		own, marshalErr = marshalShard(p, owned, states)
 		if marshalErr != nil {
 			own = Shard{From: p}
 		}
-		crashed = sendRing(p, own, ep, k, opts, st)
+		crashed = sendRing(p, own, ep, k, opts, st, sendSp)
 	})
+	sendSp.End()
 	if marshalErr != nil {
 		return marshalErr
 	}
@@ -103,6 +120,7 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 	// Phase 3a: overlaps within the local shard — the upper triangle
 	// including the diagonal, oriented (i first) exactly as the serial path.
 	counts := make([]int, len(owned))
+	triSp := sp.Child("local_triangle")
 	st.InnerTime += timed(func() {
 		pl.runWS(len(owned), func(ws *mps.Workspace, a int) {
 			for b := a; b < len(owned); b++ {
@@ -111,6 +129,7 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 			}
 		})
 	})
+	triSp.End()
 
 	// Phase 3b: receive the other k−1 shards under the deadline; deserialise
 	// each (comm) and compute the cross pairs this rank owns: (i, j) with i
@@ -140,7 +159,9 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 		})
 		return nil
 	}
-	dead, missing, err := exchangeRecv(ep, k, p, opts, st, onShard)
+	recvSp := sp.Child("exchange_recv")
+	dead, missing, err := exchangeRecv(ep, k, p, opts, st, recvSp, onShard)
+	recvSp.End()
 	if err != nil {
 		return err
 	}
@@ -150,7 +171,12 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 
 	// Phase 4: recover whatever never arrived.
 	if len(dead)+len(missing) > 0 {
-		if err := recoverGram(q, X, gram, retain, st, pl, assign, owned, states, dead, missing, rowCosts); err != nil {
+		recSp := sp.Child("recover")
+		recSp.SetAttr("dead", len(dead))
+		recSp.SetAttr("missing", len(missing))
+		err := recoverGram(q, X, gram, retain, st, pl, assign, owned, states, dead, missing, rowCosts, recSp)
+		recSp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -183,7 +209,7 @@ func gramProcRR(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mp
 // also write. The values are bit-identical either way, and the in-process
 // transports never hit this (their envelopes only come from injected
 // crashes, whose ranks provably publish nothing).
-func recoverGram(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, pl pool, assign [][]int, owned []int, states []*mps.MPS, dead, missing []int, rowCosts []time.Duration) error {
+func recoverGram(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*mps.MPS, st *ProcStats, pl pool, assign [][]int, owned []int, states []*mps.MPS, dead, missing []int, rowCosts []time.Duration, sp *obs.Span) error {
 	deadSet := make(map[int]bool, len(dead))
 	for _, c := range dead {
 		deadSet[c] = true
@@ -200,12 +226,13 @@ func recoverGram(q *kernel.Quantum, X [][]float64, gram [][]float64, retain []*m
 		costs := make([]time.Duration, len(idx))
 		var simErr error
 		st.SimTime += timed(func() {
-			simErr = simulateOwned(q, X, idx, sts, pl, st, "recovered", costs)
+			simErr = simulateOwned(q, X, idx, sts, pl, st, "recovered", costs, sp)
 		})
 		if simErr != nil {
 			return simErr
 		}
 		st.RecoveredRows += len(idx)
+		sp.Event("recovered_rows", obs.KV("rank", c), obs.KV("rows", len(idx)), obs.KV("dead", deadSet[c]))
 		recovered[c] = sts
 		recCosts[c] = costs
 	}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// snapshotEventCounts flattens a trace snapshot into event-name → count.
+func snapshotEventCounts(tr *obs.Trace) map[string]int {
+	out := map[string]int{}
+	for _, sp := range tr.Snapshot().Spans {
+		for _, ev := range sp.Events {
+			out[ev.Name]++
+		}
+	}
+	return out
+}
+
+// spanNames flattens a trace snapshot into span-name → count.
+func spanNames(tr *obs.Trace) map[string]int {
+	out := map[string]int{}
+	for _, sp := range tr.Snapshot().Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+// TestGramTraceSpanTree: a healthy round-robin Gram under a trace records
+// one rank span per process (on its own track), each carrying the
+// simulate/exchange phases, with one row span per owned training row.
+func TestGramTraceSpanTree(t *testing.T) {
+	X := testData(t, 12, 6)
+	q := testKernel(6)
+	tr := obs.NewTrace(obs.NewID(), "gram")
+	const procs = 3
+	res, err := ComputeGram(q, X, Options{Procs: procs, Strategy: RoundRobin, Span: tr.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+
+	names := spanNames(tr)
+	tracks := map[int]bool{}
+	for _, sp := range tr.Snapshot().Spans {
+		if sp.Track != 0 {
+			tracks[sp.Track] = true
+		}
+	}
+	for p := 0; p < procs; p++ {
+		if names["rank "+string(rune('0'+p))] != 1 {
+			t.Errorf("rank %d span count = %d, want 1", p, names["rank "+string(rune('0'+p))])
+		}
+		if !tracks[p+1] {
+			t.Errorf("no span on track %d (rank %d's timeline)", p+1, p)
+		}
+	}
+	for _, phase := range []string{"simulate", "exchange_send", "local_triangle", "exchange_recv"} {
+		if names[phase] != procs {
+			t.Errorf("%q span count = %d, want %d (one per rank)", phase, names[phase], procs)
+		}
+	}
+	if names["row"] != len(X) {
+		t.Errorf("row span count = %d, want %d (one per training row)", names["row"], len(X))
+	}
+	// Every row span must carry its row index and χ attrs.
+	for _, sp := range tr.Snapshot().Spans {
+		if sp.Name != "row" {
+			continue
+		}
+		if _, ok := sp.Attrs["row"]; !ok {
+			t.Fatalf("row span %d missing 'row' attr: %v", sp.ID, sp.Attrs)
+		}
+		if _, ok := sp.Attrs["chi"]; !ok {
+			t.Fatalf("row span %d missing 'chi' attr: %v", sp.ID, sp.Attrs)
+		}
+	}
+	// Healthy run: no fault-path events anywhere in the tree.
+	evs := snapshotEventCounts(tr)
+	for _, name := range []string{"retry", "timeout", "recovered_rows", "crashed", "rank_dead", "send_failure"} {
+		if evs[name] != 0 {
+			t.Errorf("healthy run recorded %d %q events, want 0", evs[name], name)
+		}
+	}
+	if res.TotalRetries()+res.TotalTimeouts()+res.TotalRecoveredRows() != 0 {
+		t.Fatalf("healthy run has nonzero fault counters: %+v", res.Procs)
+	}
+}
+
+// TestChaosTraceEventsMatchCounters: under seeded chaos the trace's
+// fault-path events appear exactly when the corresponding ProcStats
+// counters are nonzero — the trace is a faithful narration of the
+// recovery machinery, not a parallel guess.
+func TestChaosTraceEventsMatchCounters(t *testing.T) {
+	cases := []chaosCase{
+		{name: "drop-all", plan: FaultPlan{Seed: 5, DropProb: 1},
+			deadline: 150 * time.Millisecond, wantTimeouts: true, wantRecovered: true},
+		{name: "send-fail-retry", plan: FaultPlan{Seed: 9, SendFailProb: 0.6},
+			deadline: 150 * time.Millisecond, retries: 6, wantRetries: true},
+		{name: "crash-one", plan: FaultPlan{Seed: 1, CrashRanks: []int{1}},
+			deadline: 2 * time.Second, wantRecovered: true},
+		{name: "dup-all", plan: FaultPlan{Seed: 7, DupProb: 1},
+			deadline: 2 * time.Second, wantDups: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			X := testData(t, 12, 6)
+			q := testKernel(6)
+			ref, err := q.Gram(X)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ft := &FaultTransport{Inner: ChanTransport{}, Plan: tc.plan}
+			tr := obs.NewTrace(obs.NewID(), "chaos-gram")
+			res, err := ComputeGram(q, X, Options{
+				Procs: 3, Strategy: RoundRobin, Transport: ft,
+				Deadline: tc.deadline, MaxRetries: tc.retries, Backoff: time.Millisecond,
+				Span: tr.Root(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Root().End()
+			checkIdentical(t, tc.name, ref, res.Gram)
+
+			evs := snapshotEventCounts(tr)
+			type pair struct {
+				event   string
+				counter int
+			}
+			for _, p := range []pair{
+				{"retry", res.TotalRetries()},
+				{"timeout", res.TotalTimeouts()},
+				{"dup_dropped", res.TotalDupsDropped()},
+			} {
+				if (evs[p.event] > 0) != (p.counter > 0) {
+					t.Errorf("%s: %d %q events but counter=%d — trace and counters disagree",
+						tc.name, evs[p.event], p.event, p.counter)
+				}
+			}
+			// recovered_rows events are per recovering (rank, lost-rank) pair;
+			// their summed rows attr must equal the counter.
+			recovered := 0
+			for _, sp := range tr.Snapshot().Spans {
+				for _, ev := range sp.Events {
+					if ev.Name == "recovered_rows" {
+						if n, ok := ev.Attrs["rows"].(int); ok {
+							recovered += n
+						}
+					}
+				}
+			}
+			if recovered != res.TotalRecoveredRows() {
+				t.Errorf("%s: recovered_rows events sum to %d, counter says %d",
+					tc.name, recovered, res.TotalRecoveredRows())
+			}
+			if tc.wantRecovered && snapshotNames(tr)["recover"] == 0 {
+				t.Errorf("%s: rows were recovered but no recover span recorded", tc.name)
+			}
+		})
+	}
+}
+
+// snapshotNames is spanNames under a name the chaos test reads naturally.
+func snapshotNames(tr *obs.Trace) map[string]int { return spanNames(tr) }

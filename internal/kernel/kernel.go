@@ -22,6 +22,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/dataset"
 	"repro/internal/mps"
+	"repro/internal/obs"
 	"repro/internal/statecache"
 )
 
@@ -119,12 +120,20 @@ func (q *Quantum) StateCached(x []float64) (st *mps.MPS, hit bool, err error) {
 // simulate through warmed buffers. A nil workspace lets the state allocate
 // its own.
 func (q *Quantum) StateCachedWS(x []float64, sw *mps.SimWorkspace) (st *mps.MPS, hit bool, err error) {
+	return q.StateCachedSpan(x, sw, nil)
+}
+
+// StateCachedSpan is StateCachedWS with trace instrumentation: the cache
+// lookup outcome (hit / in-flight join / compute, with durations) is recorded
+// as events on sp. Spans thread through here as explicit parameters rather
+// than contexts because this is the per-row hot path.
+func (q *Quantum) StateCachedSpan(x []float64, sw *mps.SimWorkspace, sp *obs.Span) (st *mps.MPS, hit bool, err error) {
 	if q.Cache == nil {
 		st, err = q.simulate(x, sw)
 		return st, false, err
 	}
 	key := statecache.KeyFor(q.Fingerprint(), x)
-	return q.Cache.GetOrCompute(key, func() (*mps.MPS, error) { return q.simulate(x, sw) })
+	return q.Cache.GetOrComputeTraced(key, sp, func() (*mps.MPS, error) { return q.simulate(x, sw) })
 }
 
 // States simulates every row of X on a bounded worker pool — the

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export: the JSON format chrome://tracing and Perfetto
+// load. Every span becomes one complete ("X") event, every span event an
+// instant ("i") event, and each trace gets a process row with named tracks
+// (tid = Span.Track), so a distributed Gram renders rank timelines side by
+// side with the per-row simulation spans inside them.
+
+// ChromeEvent is one entry in a Chrome trace-event file. Exported (with a
+// permissive shape) so validators can round-trip exporter output through
+// encoding/json.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds, "X" events
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the file-level object: the "JSON Object Format" with a
+// traceEvents array, which both chrome://tracing and Perfetto accept.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// ChromeEvents flattens traces into trace-event form. Each trace is one
+// process (pid = index), offset on the shared timeline by its start time
+// relative to the earliest trace, so concurrent request traces line up.
+func ChromeEvents(traces ...*Trace) []ChromeEvent {
+	var live []*Trace
+	for _, t := range traces {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	base := live[0].start
+	for _, t := range live[1:] {
+		if t.start.Before(base) {
+			base = t.start
+		}
+	}
+	var events []ChromeEvent
+	for pid, t := range live {
+		snap := t.Snapshot()
+		offset := float64(t.start.Sub(base)) / float64(time.Microsecond)
+		events = append(events, ChromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": snap.Name + " (" + snap.ID + ")"},
+		})
+		for _, sp := range snap.Spans {
+			args := map[string]any{"span_id": sp.ID, "trace_id": snap.ID}
+			if sp.Parent != 0 {
+				args["parent"] = sp.Parent
+			}
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			if len(sp.Links) > 0 {
+				args["links"] = sp.Links
+			}
+			dur := float64(sp.DurUS)
+			if dur <= 0 {
+				// chrome://tracing drops zero-duration complete events from
+				// some views; clamp to a visible sliver.
+				dur = 1
+			}
+			events = append(events, ChromeEvent{
+				Name:  sp.Name,
+				Cat:   "span",
+				Phase: "X",
+				TS:    offset + float64(sp.StartUS),
+				Dur:   dur,
+				PID:   pid,
+				TID:   sp.Track,
+				Args:  args,
+			})
+			for _, ev := range sp.Events {
+				evArgs := map[string]any{"span_id": sp.ID}
+				for k, v := range ev.Attrs {
+					evArgs[k] = v
+				}
+				events = append(events, ChromeEvent{
+					Name:  ev.Name,
+					Cat:   "event",
+					Phase: "i",
+					TS:    offset + float64(ev.AtUS),
+					PID:   pid,
+					TID:   sp.Track,
+					Scope: "t",
+					Args:  evArgs,
+				})
+			}
+		}
+	}
+	return events
+}
+
+// WriteChrome writes the traces as a Chrome trace-event JSON file.
+func WriteChrome(w io.Writer, traces ...*Trace) error {
+	events := ChromeEvents(traces...)
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

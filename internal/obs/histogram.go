@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default request-latency bucket upper bounds in
+// seconds: 500µs to 10s, the span between a warm single-row cache hit and a
+// cold high-χ batch. Exported so tests and dashboards can reason about the
+// exact boundaries.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic observation — the
+// Prometheus histogram type (cumulative le buckets, _sum, _count) without
+// the client library. Construct with NewHistogram; a nil *Histogram ignores
+// observations and snapshots to zero.
+type Histogram struct {
+	// bounds are the ascending bucket upper bounds (le values), excluding
+	// the implicit +Inf bucket.
+	bounds []float64
+	// counts[i] is the number of observations in (bounds[i-1], bounds[i]];
+	// counts[len(bounds)] is the +Inf overflow bucket.
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	// sum holds math.Float64bits of the running sum, updated by CAS.
+	sum atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (DefLatencyBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound with v <= bound — exactly Prometheus's le semantics;
+	// beyond every bound lands in the +Inf slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram in cumulative
+// (Prometheus) form.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the cumulative count
+	// of observations ≤ Bounds[i]. The +Inf bucket is Count.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	// Count and Sum are the total observation count and value sum.
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+// Snapshot copies the histogram in cumulative form. Observations racing the
+// snapshot may be partially visible (a bucket without its count); callers
+// wanting exact invariants snapshot a quiesced histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	return s
+}
+
+// FormatLE renders a bucket bound the way Prometheus clients do
+// (shortest-round-trip float, so 0.0025 stays "0.0025").
+func FormatLE(bound float64) string {
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// WriteProm writes the snapshot's sample lines in the Prometheus text
+// exposition format: name_bucket{labels,le="..."} per bound (plus +Inf),
+// then name_sum and name_count. labels is the caller's pre-rendered label
+// list without braces (e.g. `model="default"`), empty for none; the caller
+// emits the # HELP/# TYPE header once per family.
+func (s HistogramSnapshot) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, FormatLE(b), s.Counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, s.Sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the cumulative bucket
+// counts by linear interpolation within the winning bucket — the same
+// estimate Prometheus's histogram_quantile computes, here so /stats can
+// narrate a p99 without a scrape.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var prevCum uint64
+	lower := 0.0
+	for i, b := range s.Bounds {
+		cum := s.Counts[i]
+		if float64(cum) >= rank {
+			in := cum - prevCum
+			if in == 0 {
+				return b
+			}
+			return lower + (b-lower)*(rank-float64(prevCum))/float64(in)
+		}
+		prevCum = cum
+		lower = b
+	}
+	// Landed in +Inf: the highest bound is the best finite answer.
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogFlags is the shared logging configuration for qkernel subcommands:
+// -log-level and -log-json. The default is quiet ("warn") so operational
+// logging never interleaves with the JSON and tabular narration the CLI
+// writes to stdout; serve raises its own chatter to Info explicitly.
+type LogFlags struct {
+	Level string
+	JSON  bool
+}
+
+// Register installs the flags on fs.
+func (lf *LogFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&lf.Level, "log-level", "warn", "log level: debug, info, warn, error")
+	fs.BoolVar(&lf.JSON, "log-json", false, "emit logs as JSON lines")
+}
+
+// ParseLevel maps a level name to slog.Level (unknown names mean warn).
+func ParseLevel(name string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "debug":
+		return slog.LevelDebug
+	case "info":
+		return slog.LevelInfo
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelWarn
+	}
+}
+
+// Setup builds the logger the flags describe (writing to stderr) and
+// installs it as slog's default so package-level slog.Info etc. route
+// through it. It returns the logger for explicit injection.
+func (lf LogFlags) Setup() *slog.Logger {
+	return SetupLogger(os.Stderr, ParseLevel(lf.Level), lf.JSON)
+}
+
+// SetupLogger builds and installs a default slog.Logger on w. Split from
+// Setup so tests can capture output.
+func SetupLogger(w io.Writer, level slog.Level, jsonFmt bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFmt {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l
+}

@@ -1,0 +1,365 @@
+// Package obs is the repository's dependency-free observability kit: the
+// instrumentation backbone the paper's cost-accounting story (Fig. 8) needs
+// at request and kernel granularity instead of post-hoc aggregates.
+//
+// It provides four small pieces, all stdlib-only:
+//
+//   - Traces and Spans (this file): hierarchical spans with monotonic
+//     start/duration, typed-enough attributes, point events and cross-trace
+//     links. Creating child spans is safe from concurrent goroutines (each
+//     distributed rank makes its own subtree), and every method is nil-safe
+//     so instrumented code pays one branch when tracing is off.
+//   - Histogram (histogram.go): an atomic fixed-bucket latency histogram
+//     with a Prometheus text-format writer, so p50/p99 come from /metrics.
+//   - Chrome trace-event export (chrome.go): WriteChrome emits the JSON that
+//     chrome://tracing and Perfetto load, one track per Span.Track.
+//   - Ring + Tracer (ring.go): a bounded buffer of recent traces behind
+//     /debug/trace/{id}, keyed by request ID.
+//
+// Spans thread through call chains via context (ContextWithSpan /
+// SpanFromContext) at API boundaries and as explicit parameters inside the
+// hot kernels, where a context allocation per row would be felt.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NewID returns a 16-hex-char random identifier, used for request IDs and
+// trace IDs. Collisions across a ring of a few hundred traces are
+// negligible (64 random bits).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a timestamp
+		// keeps IDs unique enough for a trace ring.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Attr is one span/event attribute. Values should be strings, bools,
+// integers or floats so every exporter can render them.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr; sugar for event call sites.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Trace is one span tree: a root span plus everything created under it.
+// A Trace is created by NewTrace (or Tracer.StartTrace) and is safe for
+// concurrent span creation and snapshotting.
+type Trace struct {
+	id   string
+	name string
+	// start anchors every span's offset; it carries Go's monotonic clock, so
+	// offsets and durations are immune to wall-clock steps.
+	start time.Time
+
+	mu     sync.Mutex
+	nextID int64
+	spans  []*Span
+	root   *Span
+}
+
+// NewTrace starts a trace and its root span (same name). id should be
+// unique within a ring; use NewID when the caller has no natural key.
+func NewTrace(id, name string) *Trace {
+	t := &Trace{id: id, name: name, start: time.Now()}
+	t.root = t.newSpan(name, 0, 0, t.start)
+	return t
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Name returns the trace name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Root returns the root span (nil on a nil trace, making the whole span API
+// a no-op downstream).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+func (t *Trace) newSpan(name string, parent int64, track int, start time.Time) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	sp := &Span{tr: t, id: t.nextID, parent: parent, name: name, track: track, start: start}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Span is one timed operation in a trace. All methods are nil-safe: child
+// creation on a nil span returns nil, so an uninstrumented call chain costs
+// a branch per operation and allocates nothing.
+type Span struct {
+	tr     *Trace
+	id     int64
+	parent int64
+	name   string
+
+	start time.Time
+
+	mu     sync.Mutex
+	track  int
+	dur    time.Duration
+	ended  bool
+	attrs  []Attr
+	events []Event
+	links  []string
+}
+
+// Event is a point-in-time marker inside a span (a retry, a cache hit, a
+// recovery decision).
+type Event struct {
+	Name  string
+	At    time.Time
+	Attrs []Attr
+}
+
+// TraceID returns the owning trace's ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Child starts a child span now.
+func (s *Span) Child(name string) *Span { return s.ChildAt(name, time.Now()) }
+
+// ChildAt starts a child span with an explicit start time — the batching
+// scheduler reconstructs a request's queue-wait phase from its enqueue
+// timestamp after the fact. The time should come from time.Now (possibly
+// .Add-adjusted) so it keeps the monotonic clock reading.
+func (s *Span) ChildAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	track := s.track
+	s.mu.Unlock()
+	return s.tr.newSpan(name, s.id, track, start)
+}
+
+// End closes the span now. Idempotent; the first End wins.
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt closes the span at an explicit instant (see ChildAt).
+func (s *Span) EndAt(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = at.Sub(s.start)
+	if s.dur < 0 {
+		s.dur = 0
+	}
+}
+
+// Duration returns the span's closed duration, or the elapsed time so far
+// for a span still running (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SetAttr records (or overwrites) one attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetTrack assigns the span (and every child created afterwards) to a
+// display track — the Chrome exporter's tid. Distributed ranks use rank+1
+// so their timelines render side by side.
+func (s *Span) SetTrack(track int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.track = track
+	s.mu.Unlock()
+}
+
+// Event records a point event inside the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := Event{Name: name, At: time.Now(), Attrs: attrs}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Link attaches a cross-trace reference (a trace ID): the batch span links
+// the request traces it coalesced, and each request's compute phase links
+// the batch that served it.
+func (s *Span) Link(ref string) {
+	if s == nil || ref == "" {
+		return
+	}
+	s.mu.Lock()
+	s.links = append(s.links, ref)
+	s.mu.Unlock()
+}
+
+// ctxKey carries a *Span through a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. A nil span
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil when the chain is not
+// traced — which every Span method tolerates.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// TraceJSON is the serialisable form of a trace — the /debug/trace/{id}
+// response body and the exporters' input.
+type TraceJSON struct {
+	ID    string     `json:"id"`
+	Name  string     `json:"name"`
+	Start time.Time  `json:"start"`
+	Spans []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one span in a TraceJSON. Times are microsecond offsets from
+// the trace start (monotonic), so the tree's arithmetic is exact even if
+// the wall clock stepped mid-trace.
+type SpanJSON struct {
+	ID      int64          `json:"id"`
+	Parent  int64          `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Track   int            `json:"track,omitempty"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Done    bool           `json:"done"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Events  []EventJSON    `json:"events,omitempty"`
+	Links   []string       `json:"links,omitempty"`
+}
+
+// EventJSON is one point event in a SpanJSON.
+type EventJSON struct {
+	Name  string         `json:"name"`
+	AtUS  int64          `json:"at_us"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Snapshot returns a consistent copy of the trace. Spans still running are
+// reported with their elapsed-so-far duration and Done=false.
+func (t *Trace) Snapshot() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	out := TraceJSON{ID: t.id, Name: t.name, Start: t.start, Spans: make([]SpanJSON, 0, len(spans))}
+	for _, sp := range spans {
+		sp.mu.Lock()
+		sj := SpanJSON{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			Track:   sp.track,
+			StartUS: sp.start.Sub(t.start).Microseconds(),
+			Done:    sp.ended,
+			Attrs:   attrMap(sp.attrs),
+			Links:   append([]string(nil), sp.links...),
+		}
+		if sp.ended {
+			sj.DurUS = sp.dur.Microseconds()
+		} else {
+			sj.DurUS = time.Since(sp.start).Microseconds()
+		}
+		for _, ev := range sp.events {
+			sj.Events = append(sj.Events, EventJSON{
+				Name:  ev.Name,
+				AtUS:  ev.At.Sub(t.start).Microseconds(),
+				Attrs: attrMap(ev.Attrs),
+			})
+		}
+		sp.mu.Unlock()
+		out.Spans = append(out.Spans, sj)
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := NewTrace("t1", "fit")
+	root := tr.Root()
+	if root == nil || root.Name() != "fit" || root.TraceID() != "t1" {
+		t.Fatalf("root = %v", root)
+	}
+	gram := root.Child("gram")
+	gram.SetAttr("rows", 16)
+	gram.SetAttr("rows", 32) // overwrite, not duplicate
+	rank := gram.Child("rank 0")
+	rank.SetTrack(1)
+	rank.Event("retry", KV("attempt", 1))
+	row := rank.Child("row")
+	if row == nil {
+		t.Fatal("child of tracked span is nil")
+	}
+	row.End()
+	rank.End()
+	gram.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(snap.Spans))
+	}
+	byName := map[string]SpanJSON{}
+	for _, sp := range snap.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["gram"].Parent != byName["fit"].ID {
+		t.Errorf("gram parent = %d, want %d", byName["gram"].Parent, byName["fit"].ID)
+	}
+	if byName["rank 0"].Parent != byName["gram"].ID {
+		t.Errorf("rank parent mismatch")
+	}
+	if got := byName["gram"].Attrs["rows"]; got != 32 {
+		t.Errorf("rows attr = %v, want 32 (overwrite)", got)
+	}
+	// Track inheritance: row created after SetTrack(1) lands on track 1.
+	if byName["row"].Track != 1 {
+		t.Errorf("row track = %d, want 1", byName["row"].Track)
+	}
+	evs := byName["rank 0"].Events
+	if len(evs) != 1 || evs[0].Name != "retry" || evs[0].Attrs["attempt"] != 1 {
+		t.Errorf("events = %+v", evs)
+	}
+	for _, sp := range snap.Spans {
+		if !sp.Done {
+			t.Errorf("span %q not done", sp.Name)
+		}
+		if sp.DurUS < 0 || sp.StartUS < 0 {
+			t.Errorf("span %q negative timing: start=%d dur=%d", sp.Name, sp.StartUS, sp.DurUS)
+		}
+	}
+}
+
+func TestSpanEndIdempotentAndRetroactive(t *testing.T) {
+	tr := NewTrace("t2", "req")
+	sp := tr.Root()
+	enq := time.Now().Add(-50 * time.Millisecond)
+	wait := sp.ChildAt("queue_wait", enq)
+	wait.EndAt(enq.Add(20 * time.Millisecond))
+	wait.EndAt(enq.Add(90 * time.Millisecond)) // second End loses
+	if d := wait.Duration(); d != 20*time.Millisecond {
+		t.Errorf("duration = %v, want 20ms", d)
+	}
+	// EndAt before start clamps to zero, never negative.
+	neg := sp.Child("neg")
+	neg.EndAt(time.Now().Add(-time.Hour))
+	if d := neg.Duration(); d != 0 {
+		t.Errorf("clamped duration = %v, want 0", d)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("t3", "gram")
+	root := tr.Root()
+	const ranks, rows = 8, 25
+	var wg sync.WaitGroup
+	for p := 0; p < ranks; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rank := root.Child(fmt.Sprintf("rank %d", p))
+			rank.SetTrack(p + 1)
+			for r := 0; r < rows; r++ {
+				row := rank.Child("row")
+				row.SetAttr("row", r)
+				row.Event("cache_hit")
+				row.End()
+			}
+			rank.End()
+		}(p)
+	}
+	wg.Wait()
+	root.End()
+	snap := tr.Snapshot()
+	if want := 1 + ranks + ranks*rows; len(snap.Spans) != want {
+		t.Fatalf("spans = %d, want %d", len(snap.Spans), want)
+	}
+	ids := map[int64]bool{}
+	for _, sp := range snap.Spans {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span id %d", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Name() != "" || tr.Root() != nil {
+		t.Error("nil trace accessors not zero")
+	}
+	_ = tr.Snapshot()
+
+	var sp *Span
+	child := sp.Child("x")
+	if child != nil {
+		t.Fatal("child of nil span should be nil")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetTrack(3)
+	sp.Event("e")
+	sp.Link("ref")
+	sp.End()
+	sp.EndAt(time.Now())
+	if sp.Duration() != 0 || sp.Name() != "" || sp.TraceID() != "" {
+		t.Error("nil span accessors not zero")
+	}
+	if got := ContextWithSpan(context.Background(), nil); SpanFromContext(got) != nil {
+		t.Error("nil span should not be stored in context")
+	}
+
+	var h *Histogram
+	h.Observe(1)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram snapshot not zero")
+	}
+
+	var tc *Tracer
+	if tc.Enabled() {
+		t.Error("nil tracer enabled")
+	}
+	if tc.StartTrace("", "x") != nil {
+		t.Error("nil tracer StartTrace not nil")
+	}
+	tc.Finish(nil)
+	if _, ok := tc.Get("x"); ok {
+		t.Error("nil tracer Get ok")
+	}
+	if tc.IDs() != nil {
+		t.Error("nil tracer IDs not nil")
+	}
+
+	var r *Ring
+	r.Add(nil)
+	if r.Len() != 0 {
+		t.Error("nil ring len")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTrace("t4", "req")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	if got := SpanFromContext(ctx); got != tr.Root() {
+		t.Fatalf("SpanFromContext = %v", got)
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context should yield nil span")
+	}
+}
+
+func TestSpanLinks(t *testing.T) {
+	batch := NewTrace("batch-1", "batch")
+	reqs := []string{"r1", "r2", "r3"}
+	for _, id := range reqs {
+		batch.Root().Link(id)
+	}
+	batch.Root().Link("") // ignored
+	snap := batch.Snapshot()
+	if got := snap.Spans[0].Links; len(got) != len(reqs) {
+		t.Fatalf("links = %v, want %v", got, reqs)
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1, 1)
+	obs := []float64{0.0005, 0.001, 0.002, 0.05, 0.5, 2, 100}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(obs)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(obs))
+	}
+	// Cumulative counts are monotone and end ≤ total; +Inf (Count) covers all.
+	var prev uint64
+	for i, c := range s.Counts {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %v", i, s.Counts)
+		}
+		prev = c
+	}
+	if prev > s.Count {
+		t.Fatalf("last bucket %d exceeds count %d", prev, s.Count)
+	}
+	// le semantics: exactly the observations ≤ bound.
+	wantLE := []uint64{2, 3, 4, 5}
+	for i, w := range wantLE {
+		if s.Counts[i] != w {
+			t.Errorf("counts[%d] = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	wantSum := 0.0
+	for _, v := range obs {
+		wantSum += v
+	}
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	// +Inf bucket equals the counter: the invariant /metrics consumers assume.
+	var last uint64
+	if len(s.Counts) > 0 {
+		last = s.Counts[len(s.Counts)-1]
+	}
+	if last > s.Count {
+		t.Fatalf("cumulative %d > count %d", last, s.Count)
+	}
+}
+
+func TestHistogramWriteProm(t *testing.T) {
+	h := NewHistogram(0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	var b bytes.Buffer
+	h.Snapshot().WriteProm(&b, "qkernel_serve_request_seconds", `model="default"`)
+	out := b.String()
+	for _, want := range []string{
+		`qkernel_serve_request_seconds_bucket{model="default",le="0.01"} 1`,
+		`qkernel_serve_request_seconds_bucket{model="default",le="0.1"} 2`,
+		`qkernel_serve_request_seconds_bucket{model="default",le="+Inf"} 3`,
+		`qkernel_serve_request_seconds_count{model="default"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Unlabelled form has no braces.
+	b.Reset()
+	h.Snapshot().WriteProm(&b, "x_seconds", "")
+	if !strings.Contains(b.String(), `x_seconds_bucket{le="0.01"} 1`) {
+		t.Errorf("unlabelled bucket malformed:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "x_seconds_count 3") {
+		t.Errorf("unlabelled count malformed:\n%s", b.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0.1, 0.2, 0.4)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all in first bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 0.1 {
+		t.Errorf("p50 = %g, want in (0, 0.1]", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %g", q)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := NewTrace("t5", "fit")
+	gram := tr.Root().Child("gram")
+	rank := gram.Child("rank 0")
+	rank.SetTrack(1)
+	rank.Event("retry", KV("attempt", 2))
+	rank.End()
+	gram.End()
+	tr.Root().End()
+
+	var b bytes.Buffer
+	if err := WriteChrome(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(b.Bytes(), &ct); err != nil {
+		t.Fatalf("round-trip unmarshal: %v\n%s", err, b.String())
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	var haveMeta, haveSpan, haveInstant bool
+	names := map[string]bool{}
+	for _, ev := range ct.TraceEvents {
+		names[ev.Name] = true
+		switch ev.Phase {
+		case "M":
+			haveMeta = true
+		case "X":
+			haveSpan = true
+			if ev.Dur <= 0 {
+				t.Errorf("X event %q dur = %g", ev.Name, ev.Dur)
+			}
+		case "i":
+			haveInstant = true
+		}
+	}
+	if !haveMeta || !haveSpan || !haveInstant {
+		t.Fatalf("phases missing: M=%v X=%v i=%v", haveMeta, haveSpan, haveInstant)
+	}
+	for _, want := range []string{"fit", "gram", "rank 0", "retry"} {
+		if !names[want] {
+			t.Errorf("missing event %q", want)
+		}
+	}
+}
+
+func TestChromeEmptyAndNil(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChrome(&b, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(b.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("events = %d, want 0", len(ct.TraceEvents))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(NewTrace(fmt.Sprintf("t%d", i), "x"))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if _, ok := r.Get("t0"); ok {
+		t.Error("t0 should be evicted")
+	}
+	if _, ok := r.Get("t4"); !ok {
+		t.Error("t4 should be retained")
+	}
+	ids := r.IDs()
+	if len(ids) != 3 || ids[0] != "t2" || ids[2] != "t4" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	tc := NewTracer(8)
+	if !tc.Enabled() {
+		t.Fatal("tracer should be enabled")
+	}
+	tr := tc.StartTrace("req-1", "request")
+	tr.Root().Child("queue_wait").End()
+	tc.Finish(tr)
+	got, ok := tc.Get("req-1")
+	if !ok || got != tr {
+		t.Fatal("finished trace not retained")
+	}
+	snap := got.Snapshot()
+	if !snap.Spans[0].Done {
+		t.Error("root span not ended by Finish")
+	}
+	auto := tc.StartTrace("", "anon")
+	if auto.ID() == "" {
+		t.Error("empty id should be generated")
+	}
+}
+
+func TestNewIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q length %d", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]string{
+		"debug": "DEBUG", "Info": "INFO", "warn": "WARN",
+		"ERROR": "ERROR", "bogus": "WARN", "": "WARN",
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in).String(); got != want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

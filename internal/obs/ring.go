@@ -1,0 +1,132 @@
+package obs
+
+import "sync"
+
+// DefaultRingCapacity bounds the server's recent-trace buffer: a few
+// hundred request trees is enough to inspect a latency regression while
+// staying a rounding error of memory next to one cached MPS state.
+const DefaultRingCapacity = 256
+
+// Ring is a bounded FIFO of recent traces keyed by trace ID — the storage
+// behind /debug/trace/{id}. Concurrency-safe.
+type Ring struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	m     map[string]*Trace
+}
+
+// NewRing builds a ring holding at most capacity traces (≤ 0 selects
+// DefaultRingCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{cap: capacity, m: make(map[string]*Trace, capacity)}
+}
+
+// Add retains tr, evicting the oldest trace when full. Re-adding an ID
+// refreshes its trace without consuming a slot.
+func (r *Ring) Add(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[tr.ID()]; ok {
+		r.m[tr.ID()] = tr
+		return
+	}
+	for len(r.order) >= r.cap {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.m, oldest)
+	}
+	r.order = append(r.order, tr.ID())
+	r.m[tr.ID()] = tr
+}
+
+// Get returns the retained trace for id.
+func (r *Ring) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr, ok := r.m[id]
+	return tr, ok
+}
+
+// IDs lists the retained trace IDs, oldest first.
+func (r *Ring) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Len reports the retained trace count.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// Tracer is the serving stack's tracing switchboard: it starts traces and
+// retains finished ones in a ring for /debug/trace. A nil *Tracer is the
+// disabled state — StartTrace returns a nil *Trace, whose nil root span
+// makes every downstream span operation a no-op.
+type Tracer struct {
+	ring *Ring
+}
+
+// NewTracer builds a tracer retaining up to capacity recent traces (≤ 0
+// selects DefaultRingCapacity).
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{ring: NewRing(capacity)}
+}
+
+// Enabled reports whether tracing is on (the tracer is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartTrace begins a trace under id (NewID when empty). Returns nil on a
+// nil tracer.
+func (t *Tracer) StartTrace(id, name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if id == "" {
+		id = NewID()
+	}
+	return NewTrace(id, name)
+}
+
+// Finish ends the trace's root span and retains the trace in the ring.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Root().End()
+	t.ring.Add(tr)
+}
+
+// Get returns a retained trace by ID.
+func (t *Tracer) Get(id string) (*Trace, bool) {
+	if t == nil {
+		return nil, false
+	}
+	return t.ring.Get(id)
+}
+
+// IDs lists the retained trace IDs, oldest first.
+func (t *Tracer) IDs() []string {
+	if t == nil {
+		return nil
+	}
+	return t.ring.IDs()
+}

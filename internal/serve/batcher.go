@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // job is one request travelling through the batching queue.
@@ -17,6 +18,10 @@ type job struct {
 	scores []float64
 	err    error
 	done   chan struct{}
+	// span is the request's trace span (from the DoCtx context), nil when
+	// the request is untraced. At scatter time the scheduler reconstructs
+	// the request's queue_wait / batch_compute / scatter phases under it.
+	span *obs.Span
 	// canceled marks a job whose submitter gave up (context ended) while it
 	// was queued. The scheduler checks it at gather time and releases the
 	// slot instead of computing the dead request; a job gathered before the
@@ -37,6 +42,12 @@ type Batcher struct {
 	done  chan struct{}
 	once  sync.Once
 	start time.Time
+
+	// reqHist observes end-to-end request latency (enqueue → scatter) and
+	// qwHist its queue-wait component (enqueue → batch dispatch). Atomic —
+	// observed outside the counter mutex.
+	reqHist *obs.Histogram
+	qwHist  *obs.Histogram
 
 	mu           sync.Mutex
 	requests     int64
@@ -62,12 +73,14 @@ func New(fw *core.Framework, model *core.Model, cfg Config) (*Batcher, error) {
 		return nil, fmt.Errorf("serve: model training rows do not match the framework's %d features", features)
 	}
 	s := &Batcher{
-		fw:    fw,
-		model: model,
-		cfg:   cfg.withDefaults(),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		start: time.Now(),
+		fw:      fw,
+		model:   model,
+		cfg:     cfg.withDefaults(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+		reqHist: obs.NewHistogram(),
+		qwHist:  obs.NewHistogram(),
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	go s.loop()
@@ -118,7 +131,7 @@ func (s *Batcher) DoCtx(ctx context.Context, rows [][]float64) ([]float64, error
 			return nil, fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadRequest, i, len(r), features)
 		}
 	}
-	j := &job{rows: rows, enq: time.Now(), done: make(chan struct{})}
+	j := &job{rows: rows, enq: time.Now(), done: make(chan struct{}), span: obs.SpanFromContext(ctx)}
 	select {
 	case <-s.stop:
 		return nil, ErrClosed
@@ -192,20 +205,23 @@ func (s *Batcher) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Requests:     s.requests,
-		Rows:         s.rows,
-		Batches:      s.batches,
-		CrossCalls:   s.batches, // one kernel computation per batch
-		MaxBatchRows: s.maxBatchRows,
-		Rejected:     s.rejected,
-		Canceled:     s.canceled,
-		Errors:       s.errs,
-		QueuedJobs:   len(s.queue),
-		PredictWall:  s.predictWall,
-		WaitWall:     s.waitWall,
-		Cache:        s.fw.CacheStats(),
-		Comm:         s.fw.CommStats(),
-		Uptime:       time.Since(s.start),
+		Requests:         s.requests,
+		Rows:             s.rows,
+		Batches:          s.batches,
+		CrossCalls:       s.batches, // one kernel computation per batch
+		MaxBatchRows:     s.maxBatchRows,
+		Rejected:         s.rejected,
+		Canceled:         s.canceled,
+		Errors:           s.errs,
+		QueuedJobs:       len(s.queue),
+		PredictWall:      s.predictWall,
+		WaitWall:         s.waitWall,
+		Cache:            s.fw.CacheStats(),
+		Comm:             s.fw.CommStats(),
+		RowCosts:         s.fw.RowCostStats(),
+		RequestSeconds:   s.reqHist.Snapshot(),
+		QueueWaitSeconds: s.qwHist.Snapshot(),
+		Uptime:           time.Since(s.start),
 	}
 }
 
@@ -281,7 +297,12 @@ func (s *Batcher) drainQueued() {
 }
 
 // process answers one coalesced batch with a single Predict (one underlying
-// cross-kernel computation) and scatters the scores back per job.
+// cross-kernel computation) and scatters the scores back per job. With a
+// tracer configured it records one batch trace whose root links every
+// coalesced request's trace, and reconstructs each request's queue_wait /
+// batch_compute / scatter phases on its span — the phases partition the
+// enqueue→scatter interval exactly, which is also what the latency histogram
+// observes.
 func (s *Batcher) process(batch []*job, rowCount int) {
 	all := make([][]float64, 0, rowCount)
 	dispatch := time.Now()
@@ -290,8 +311,23 @@ func (s *Batcher) process(batch []*job, rowCount int) {
 		all = append(all, j.rows...)
 		queued += dispatch.Sub(j.enq)
 	}
-	scores, err := s.fw.Predict(s.model, all)
-	elapsed := time.Since(dispatch)
+
+	var batchTr *obs.Trace
+	pctx := context.Background()
+	if s.cfg.Obs.Enabled() {
+		batchTr = s.cfg.Obs.StartTrace("batch-"+obs.NewID(), "batch")
+		root := batchTr.Root()
+		root.SetAttr("requests", len(batch))
+		root.SetAttr("rows", rowCount)
+		for _, j := range batch {
+			root.Link(j.span.TraceID())
+		}
+		pctx = obs.ContextWithSpan(pctx, root)
+	}
+
+	scores, err := s.fw.PredictCtx(pctx, s.model, all)
+	computeEnd := time.Now()
+	elapsed := computeEnd.Sub(dispatch)
 
 	s.mu.Lock()
 	s.batches++
@@ -314,5 +350,24 @@ func (s *Batcher) process(batch []*job, rowCount int) {
 		}
 		off += len(j.rows)
 		close(j.done)
+		finish := time.Now()
+		if j.span != nil {
+			// Phases are reconstructed retroactively from the shared batch
+			// timeline; they partition [enq, finish] with no gaps, so their
+			// sum equals the histogram-observed latency by construction.
+			qw := j.span.ChildAt("queue_wait", j.enq)
+			qw.EndAt(dispatch)
+			bc := j.span.ChildAt("batch_compute", dispatch)
+			bc.Link(batchTr.ID())
+			bc.SetAttr("batch_rows", rowCount)
+			bc.EndAt(computeEnd)
+			sc := j.span.ChildAt("scatter", computeEnd)
+			sc.EndAt(finish)
+		}
+		s.reqHist.Observe(finish.Sub(j.enq).Seconds())
+		s.qwHist.Observe(dispatch.Sub(j.enq).Seconds())
+	}
+	if batchTr != nil {
+		s.cfg.Obs.Finish(batchTr)
 	}
 }

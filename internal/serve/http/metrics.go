@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -84,6 +85,20 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st serve.Stats) float64 { return float64(st.Comm.Timeouts) })
 	family("qkernel_dist_recovered_rows_total", "counter", "kernel rows recomputed locally after a peer's shard never arrived",
 		func(st serve.Stats) float64 { return float64(st.Comm.RecoveredRows) })
+
+	// Latency histograms: one family declaration, one {model=...} labelset
+	// per model, cumulative le buckets ending at +Inf plus _sum/_count —
+	// where p50/p99 dashboards come from.
+	histFamily := func(name, help string, snap func(serve.Stats) obs.HistogramSnapshot) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, model := range names {
+			snap(stats[model]).WriteProm(&sb, name, fmt.Sprintf("model=%q", model))
+		}
+	}
+	histFamily("qkernel_serve_request_seconds", "end-to-end request latency, enqueue to scatter",
+		func(st serve.Stats) obs.HistogramSnapshot { return st.RequestSeconds })
+	histFamily("qkernel_serve_queue_wait_seconds", "request queue wait, enqueue to batch dispatch",
+		func(st serve.Stats) obs.HistogramSnapshot { return st.QueueWaitSeconds })
 
 	sb.WriteString("# HELP qkernel_dist_transport configured shard wire per model (value fixed at 1)\n# TYPE qkernel_dist_transport gauge\n")
 	for _, model := range names {

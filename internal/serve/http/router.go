@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/registry"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// EnableAdmin exposes POST /admin/reload. Off by default: reload is an
 	// operator action, not part of the public prediction surface.
 	EnableAdmin bool
+	// Obs, when non-nil, records one trace per predict request, keyed by the
+	// request's X-Request-Id (client-supplied or generated — the response
+	// always carries the header), and exposes the tracer's ring under
+	// GET /debug/trace/{id}. Share the same tracer with serve.Config.Obs so
+	// the batcher can reconstruct each request's queue_wait / batch_compute /
+	// scatter phases on the span this router starts.
+	Obs *obs.Tracer
 }
 
 // Router is the HTTP front of a model registry.
@@ -128,6 +136,8 @@ func (rt *Router) Handler() http.Handler {
 		rt.handlePredict(w, r, r.PathValue("model"))
 	})
 	mux.HandleFunc("GET /v1/models", rt.handleModels)
+	mux.HandleFunc("GET /debug/trace", rt.handleTraceList)
+	mux.HandleFunc("GET /debug/trace/{id}", rt.handleTrace)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /stats", rt.handleStats)
@@ -180,6 +190,14 @@ func setRateHeaders(w http.ResponseWriter, d decision) {
 }
 
 func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request, name string) {
+	// Every predict response carries X-Request-Id — propagated from the
+	// client when supplied, generated otherwise — so a caller can always
+	// fetch its trace from /debug/trace/{id} afterwards.
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = obs.NewID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
 	if rt.rl != nil {
 		d := rt.rl.allow(apiKey(r), time.Now())
 		setRateHeaders(w, d)
@@ -212,7 +230,22 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request, name str
 	if resolved == "" {
 		resolved = rt.reg.DefaultName()
 	}
-	scores, err := rt.reg.PredictCtx(r.Context(), name, req.Rows)
+	ctx := r.Context()
+	var tr *obs.Trace
+	if rt.cfg.Obs.Enabled() {
+		tr = rt.cfg.Obs.StartTrace(reqID, "request")
+		root := tr.Root()
+		root.SetAttr("model", resolved)
+		root.SetAttr("rows", len(req.Rows))
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	scores, err := rt.reg.PredictCtx(ctx, name, req.Rows)
+	if tr != nil {
+		if err != nil {
+			tr.Root().SetAttr("error", err.Error())
+		}
+		rt.cfg.Obs.Finish(tr)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, registry.ErrUnknownModel):
@@ -248,6 +281,38 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request, name str
 		}
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{Model: resolved, Scores: scores, Labels: labels})
+}
+
+// traceListResponse is the GET /debug/trace body: the IDs currently retained
+// in the tracer's ring, oldest first.
+type traceListResponse struct {
+	Traces []string `json:"traces"`
+}
+
+func (rt *Router) handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	if !rt.cfg.Obs.Enabled() {
+		httpError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	ids := rt.cfg.Obs.IDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, traceListResponse{Traces: ids})
+}
+
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !rt.cfg.Obs.Enabled() {
+		httpError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	id := r.PathValue("id")
+	tr, ok := rt.cfg.Obs.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no trace "+id+" in ring (finished traces only; ring evicts oldest)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
 }
 
 // modelsResponse is the GET /v1/models body.

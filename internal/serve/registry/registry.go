@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -285,10 +286,13 @@ func (r *Registry) Reload(name string, force bool) (ReloadResult, error) {
 	}
 
 	e.loading.Store(true)
+	loadStart := time.Now()
 	inst, err := r.load(e.path)
 	e.loading.Store(false)
 	if err != nil {
 		e.setErr(err)
+		slog.Warn("model reload failed; previous generation keeps serving",
+			"model", name, "path", e.path, "err", err)
 		return ReloadResult{Name: name, Error: err.Error()}, fmt.Errorf("registry: reload %q: %w", name, err)
 	}
 	e.cur.Store(inst)
@@ -297,6 +301,9 @@ func (r *Registry) Reload(name string, force bool) (ReloadResult, error) {
 	// routes to the fresh instance, and Close drains everything the old one
 	// accepted, so the window loses nothing.
 	old.Batcher.Close()
+	slog.Info("model hot-swapped",
+		"model", name, "path", e.path, "fingerprint", inst.Fingerprint,
+		"load_seconds", time.Since(loadStart).Seconds())
 	return ReloadResult{Name: name, Swapped: true, Fingerprint: inst.Fingerprint}, nil
 }
 

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/statecache"
 )
 
@@ -90,6 +91,14 @@ type Config struct {
 	// MaxRequestRows caps the rows a single request may carry (HTTP 413
 	// beyond it). Default 1024.
 	MaxRequestRows int
+	// Obs, when non-nil, records one trace per dispatched batch (retained in
+	// the tracer's ring): the batch root links every coalesced request's
+	// trace, and the kernel spans of the batched Predict nest under it. Each
+	// request span travelling in a DoCtx context additionally gets its
+	// queue_wait / batch_compute / scatter phases reconstructed at scatter
+	// time. Nil disables batch traces; the latency histograms below are
+	// always live.
+	Obs *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +147,16 @@ type Stats struct {
 	// message and byte counts are the signature of the communication-free
 	// retained-state inference path.
 	Comm core.CommStats
+	// RowCosts summarises the measured per-row state-materialisation costs
+	// across every kernel computation the model's framework has run — the
+	// EstimateRowCost calibration signal, surfaced in /stats.
+	RowCosts core.RowCostSummary
+	// RequestSeconds is the end-to-end request latency histogram (enqueue to
+	// scatter) and QueueWaitSeconds the queue-wait component (enqueue to
+	// batch dispatch), both in cumulative Prometheus form — the /metrics
+	// histogram families, and where p50/p99 come from.
+	RequestSeconds   obs.HistogramSnapshot
+	QueueWaitSeconds obs.HistogramSnapshot
 	// Uptime is the time since New.
 	Uptime time.Duration
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/mps"
+	"repro/internal/obs"
 )
 
 // entryOverheadBytes approximates the bookkeeping cost per resident entry
@@ -230,8 +231,18 @@ func (c *Cache) evictOverBudget() {
 // and report a hit. Errors are propagated to every waiter and never cached.
 // hit reports whether this caller avoided running compute.
 func (c *Cache) GetOrCompute(k Key, compute func() (*mps.MPS, error)) (st *mps.MPS, hit bool, err error) {
+	return c.GetOrComputeTraced(k, nil, compute)
+}
+
+// GetOrComputeTraced is GetOrCompute with trace instrumentation: the lookup's
+// outcome is recorded on sp as a cache_hit, cache_join (with the blocked
+// duration) or cache_compute (with the simulation duration) event. A nil span
+// records nothing; the cache counters are identical either way.
+func (c *Cache) GetOrComputeTraced(k Key, sp *obs.Span, compute func() (*mps.MPS, error)) (st *mps.MPS, hit bool, err error) {
 	if c == nil {
+		t0 := time.Now()
 		st, err = compute()
+		sp.Event("cache_compute", obs.KV("us", time.Since(t0).Microseconds()), obs.KV("uncached", true))
 		return st, false, err
 	}
 	c.mu.Lock()
@@ -240,6 +251,7 @@ func (c *Cache) GetOrCompute(k Key, compute func() (*mps.MPS, error)) (st *mps.M
 		c.hits++
 		st = el.Value.(*entry).st
 		c.mu.Unlock()
+		sp.Event("cache_hit")
 		return st, true, nil
 	}
 	if cl, ok := c.inflight[k]; ok {
@@ -253,6 +265,7 @@ func (c *Cache) GetOrCompute(k Key, compute func() (*mps.MPS, error)) (st *mps.M
 		c.mu.Lock()
 		c.waitWall += wait
 		c.mu.Unlock()
+		sp.Event("cache_join", obs.KV("wait_us", wait.Microseconds()))
 		return cl.st, true, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
@@ -272,6 +285,7 @@ func (c *Cache) GetOrCompute(k Key, compute func() (*mps.MPS, error)) (st *mps.M
 	}
 	c.mu.Unlock()
 	close(cl.done)
+	sp.Event("cache_compute", obs.KV("us", elapsed.Microseconds()))
 	return cl.st, false, cl.err
 }
 
