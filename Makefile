@@ -16,7 +16,7 @@ SMOKE_BENCHES := BenchmarkFig8RuntimeBreakdown|BenchmarkAblationDistStrategies|B
 # cannot make the gate compare a run against itself.
 BASELINE := $(shell git ls-files 'BENCH_*.json' | sort | tail -1)
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke chaos-smoke obs-smoke ci clean
+.PHONY: all build vet fmt-check test race bench-smoke bench-check serve-smoke load-smoke chaos-smoke obs-smoke calib-smoke ci clean
 
 all: build
 
@@ -80,6 +80,13 @@ load-smoke:
 # nonzero locally-recovered row count proving the faults actually fired.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# calib-smoke is the end-to-end calibrated-prediction check: train with
+# conformal calibration at α=0.1, assert the narrated held-out coverage lands
+# in [0.85, 1.0], serve the model, assert POST /predict carries prediction
+# sets and /metrics a well-formed confidence histogram (via cmd/obscheck).
+calib-smoke:
+	sh scripts/calib_smoke.sh
 
 # obs-smoke is the end-to-end observability check: train with -trace and
 # validate the Chrome trace-event JSON via cmd/obscheck, then serve with

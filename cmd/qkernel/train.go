@@ -2,14 +2,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/conformal/sdt"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/internal/svm"
 )
 
 // runTrain is the `qkernel train` subcommand: fit through the core pipeline
@@ -31,6 +34,8 @@ func runTrain(args []string) int {
 	ff.Register(fs)
 	cacheMB := fs.Int("cache-mb", 256, "χ-aware simulated-state cache budget in MiB (0 disables)")
 	cFlag := fs.Float64("c", 0, "SVM box constraint (0 sweeps the paper's grid)")
+	calibFrac := fs.Float64("calib-frac", 0, "fraction of training rows held out for conformal calibration (0 disables, max 0.5)")
+	alpha := fs.Float64("alpha", 0, "conformal miscoverage level α (default 0.1 when -calib-frac is set)")
 	out := fs.String("out", "", "write the trained model here (required)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing)")
 	var lf obs.LogFlags
@@ -65,6 +70,7 @@ func runTrain(args []string) int {
 	fw, err := core.New(core.Options{
 		Features: df.features, Layers: *layers, Distance: *distance, Gamma: *gamma,
 		C: *cFlag, Procs: *procs, Strategy: strategy, Transport: transport, CacheBytes: cacheBytes,
+		CalibFrac: *calibFrac, Alpha: *alpha,
 		DistDeadline: ff.Deadline, DistRetries: ff.Retries, DistBackoff: ff.Backoff,
 	})
 	if err != nil {
@@ -100,14 +106,50 @@ func runTrain(args []string) int {
 			rc.Count, rc.Min.Round(time.Microsecond), rc.Mean.Round(time.Microsecond),
 			rc.Max.Round(time.Microsecond), rc.Total.Round(time.Millisecond))
 	}
+	if report.Calibrated {
+		cc := report.CalibCoverage
+		fmt.Printf("calibration: %d held-out rows at α=%.2f — coverage %.3f, avg set size %.2f, abstain %.1f%%, outlier %.1f%%\n",
+			report.CalibRows, report.Alpha, cc.Coverage, cc.AvgSetSize, 100*cc.AbstainRate, 100*cc.OutlierRate)
+		if report.SDTValid {
+			s := report.SDT
+			fmt.Printf("SDT (confidence vs correctness, calibration rows): hit %.3f  false-alarm %.3f  d' %.2f  type-2 AUC %.3f\n",
+				s.HitRate, s.FalseAlarmRate, s.DPrime, s.AUC)
+		}
+	}
 
 	if test.Len() > 0 {
-		met, err := fw.EvaluateCtx(ctx, model, test.X, test.Y)
+		// One cross-kernel pass covers both the point metrics and — on a
+		// calibrated model — the conformal coverage and SDT summaries.
+		scores, err := fw.PredictCtx(ctx, model, test.X)
+		if err != nil {
+			return fail(err)
+		}
+		met, err := svm.Evaluate(scores, test.Y)
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Printf("held-out: AUC %.3f  recall %.3f  precision %.3f  accuracy %.3f\n",
 			met.AUC, met.Recall, met.Precision, met.Accuracy)
+		if model.Calibrated() {
+			cov, err := model.Conformal.Coverage(scores, test.Y)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Printf("held-out conformal: coverage %.3f (target ≥ %.2f), avg set size %.2f, abstain %.1f%%, outlier %.1f%%\n",
+				cov.Coverage, 1-model.Conformal.Alpha, cov.AvgSetSize, 100*cov.AbstainRate, 100*cov.OutlierRate)
+			preds := model.Conformal.PredictBatch(scores)
+			labels := make([]int, len(preds))
+			conf := make([]float64, len(preds))
+			for i, pr := range preds {
+				labels[i], conf[i] = pr.Label, pr.Confidence
+			}
+			if s, err := sdt.FromPredictions(labels, conf, test.Y); err == nil {
+				fmt.Printf("held-out SDT: hit %.3f  false-alarm %.3f  d' %.2f  type-2 AUC %.3f\n",
+					s.HitRate, s.FalseAlarmRate, s.DPrime, s.AUC)
+			} else if !errors.Is(err, sdt.ErrDegenerate) {
+				return fail(err)
+			}
+		}
 	}
 
 	if tr != nil {

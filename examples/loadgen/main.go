@@ -1,8 +1,9 @@
 // loadgen is the p99-gated load harness for `qkernel serve`: a closed-loop
 // swarm of concurrent HTTP clients hammering one or more model endpoints,
 // reporting latency quantiles and throughput as JSON, and exiting nonzero
-// when a gate fails — any 5xx response, or p99 above -p99-budget-ms. CI runs
-// it via `make load-smoke` (scripts/load_smoke.sh).
+// when a gate fails — any 5xx response, p99 above -p99-budget-ms, or (with
+// -expect-calibrated) any OK response missing conformal confidence fields.
+// CI runs it via `make load-smoke` (scripts/load_smoke.sh).
 //
 //	loadgen -url http://127.0.0.1:8080 -models alpha,beta \
 //	        -clients 200 -duration 3s -p99-budget-ms 2000
@@ -34,6 +35,16 @@ type predictRequest struct {
 	Rows [][]float64 `json:"rows"`
 }
 
+// predictProbe is the slice of the response body inspected under
+// -expect-calibrated: the calibrated flag and one confidence per row.
+type predictProbe struct {
+	Calibrated  bool      `json:"calibrated"`
+	Scores      []float64 `json:"scores"`
+	Predictions []struct {
+		Confidence *float64 `json:"confidence"`
+	} `json:"predictions"`
+}
+
 // Report is the JSON document printed on stdout.
 type Report struct {
 	URL          string         `json:"url"`
@@ -45,6 +56,7 @@ type Report struct {
 	Rejected429  int            `json:"rejected_429"`
 	Errors5xx    int            `json:"errors_5xx"`
 	OtherErrors  int            `json:"other_errors"`
+	Uncalibrated int            `json:"uncalibrated_ok,omitempty"`
 	Throughput   float64        `json:"throughput_rps"`
 	P50Ms        float64        `json:"p50_ms"`
 	P90Ms        float64        `json:"p90_ms"`
@@ -61,6 +73,7 @@ type sample struct {
 	status  int
 	model   string
 	err     bool
+	uncal   bool // OK response missing conformal fields under -expect-calibrated
 }
 
 func main() {
@@ -74,6 +87,7 @@ func main() {
 	apiKeys := flag.Int("api-keys", 0, "spread clients over this many distinct X-API-Key values (0 = no header)")
 	p99Budget := flag.Float64("p99-budget-ms", 0, "fail (exit 1) when p99 latency exceeds this many milliseconds (0 = no gate)")
 	allow5xx := flag.Bool("allow-5xx", false, "do not fail the run on 5xx responses")
+	expectCalibrated := flag.Bool("expect-calibrated", false, "fail the run when any OK response lacks conformal confidence fields (served model must be calibrated)")
 	flag.Parse()
 
 	var modelList []string
@@ -153,6 +167,22 @@ func main() {
 					s.err = true
 				} else {
 					s.status = resp.StatusCode
+					if *expectCalibrated && resp.StatusCode == http.StatusOK {
+						// Parse instead of blind-draining: the calibration
+						// gate needs the conformal fields of every response.
+						var probe predictProbe
+						if derr := json.NewDecoder(resp.Body).Decode(&probe); derr != nil ||
+							!probe.Calibrated || len(probe.Predictions) != len(probe.Scores) {
+							s.uncal = true
+						} else {
+							for _, p := range probe.Predictions {
+								if p.Confidence == nil {
+									s.uncal = true
+									break
+								}
+							}
+						}
+					}
 					// Drain so the connection is reusable.
 					var buf [512]byte
 					for {
@@ -190,6 +220,9 @@ func main() {
 			rep.OK++
 			rep.PerModel[s.model]++
 			okLat = append(okLat, s.latency)
+			if s.uncal {
+				rep.Uncalibrated++
+			}
 		case s.status == http.StatusTooManyRequests:
 			rep.Rejected429++
 		case s.status >= 500:
@@ -230,6 +263,10 @@ func main() {
 	if *p99Budget > 0 && rep.P99Ms > *p99Budget {
 		rep.GatesPassed = false
 		rep.GateFailures = append(rep.GateFailures, fmt.Sprintf("p99 %.1fms exceeds budget %.1fms", rep.P99Ms, *p99Budget))
+	}
+	if *expectCalibrated && rep.Uncalibrated > 0 {
+		rep.GatesPassed = false
+		rep.GateFailures = append(rep.GateFailures, fmt.Sprintf("%d OK responses lacked conformal confidence fields", rep.Uncalibrated))
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,295 @@
+// Package conformal turns raw SVM decision scores into calibrated
+// prediction sets with a finite-sample coverage guarantee — the "predictions
+// that know what they know" layer over the quantum-kernel classifier.
+//
+// The construction is Mondrian (label-conditional) split conformal
+// prediction, in the spirit of Park et al.'s few-shot set predictors: a
+// calibration partition is held out of the training set, the classifier's
+// decision scores on it are converted to nonconformity scores, and at
+// inference time each candidate label y ∈ {−1,+1} receives a p-value
+//
+//	p_y(s) = (#{calibration rows of class y with nonconformity ≥ A(y,s)} + 1)
+//	         / (n_y + 1)
+//
+// where A(y,s) = −y·s is the nonconformity of decision score s under label
+// y (a large positive score is very conforming for +1 and very
+// nonconforming for −1). The prediction set at miscoverage rate α is
+//
+//	Γ(s) = {y : p_y(s) > α}
+//
+// which can be empty ({} — the row conforms to neither class: an outlier),
+// a singleton ({+1} or {−1} — a confident, auto-decidable prediction), or
+// both classes ({−1,+1} — ambiguous: the abstention signal routed to human
+// review in the fraud scenario).
+//
+// Guarantee: when calibration and test rows are exchangeable, each class's
+// p-value is super-uniform, so P(y ∈ Γ | true label y) ≥ 1−α per class and
+// hence marginally — with no assumptions on the classifier, the kernel, or
+// the data distribution. The guarantee holds in expectation over draws; the
+// empirical coverage of one finite test set fluctuates around it (binomial
+// noise), which is why the test-suite asserts coverage ≥ 1−α−ε.
+//
+// Ties are handled conservatively and deterministically: a calibration
+// nonconformity exactly equal to the test row's counts against it (≥, not
+// >), so repeated runs produce identical sets and coverage can only err
+// high. No randomized smoothing is used.
+package conformal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultAlpha is the miscoverage rate used when a caller enables
+// calibration without choosing one: 90% target coverage.
+const DefaultAlpha = 0.1
+
+// ErrSingleClass is returned by Calibrate when the calibration partition
+// does not contain both classes — Mondrian calibration needs at least one
+// row per class to bound that class's nonconformity.
+var ErrSingleClass = errors.New("conformal: calibration set does not contain both classes")
+
+// Predictor is a calibrated split-conformal set predictor for a binary
+// (±1) decision-score classifier. Fields are exported for persistence; use
+// Calibrate to construct one, and treat a constructed Predictor as
+// immutable (Predict is safe for concurrent use).
+type Predictor struct {
+	// Alpha is the miscoverage rate α: sets cover the true label with
+	// probability ≥ 1−α.
+	Alpha float64
+	// Pos and Neg are the ascending per-class calibration nonconformity
+	// scores: Pos holds −s for calibration rows with true label +1, Neg
+	// holds +s for rows with true label −1.
+	Pos []float64
+	Neg []float64
+}
+
+// Calibrate builds a predictor from held-out calibration decision scores
+// and their true ±1 labels. alpha must lie in (0,1); both classes must be
+// present (ErrSingleClass otherwise).
+func Calibrate(scores []float64, y []int, alpha float64) (*Predictor, error) {
+	if len(scores) != len(y) {
+		return nil, fmt.Errorf("conformal: %d scores for %d labels", len(scores), len(y))
+	}
+	if len(y) == 0 {
+		return nil, fmt.Errorf("conformal: empty calibration set")
+	}
+	if !(alpha > 0 && alpha < 1) || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("conformal: alpha must be in (0,1), got %v", alpha)
+	}
+	p := &Predictor{Alpha: alpha}
+	for i, v := range y {
+		switch v {
+		case +1:
+			p.Pos = append(p.Pos, -scores[i])
+		case -1:
+			p.Neg = append(p.Neg, +scores[i])
+		default:
+			return nil, fmt.Errorf("conformal: labels must be ±1, got %d", v)
+		}
+	}
+	if len(p.Pos) == 0 || len(p.Neg) == 0 {
+		return nil, fmt.Errorf("%w (%d pos, %d neg)", ErrSingleClass, len(p.Pos), len(p.Neg))
+	}
+	sort.Float64s(p.Pos)
+	sort.Float64s(p.Neg)
+	return p, nil
+}
+
+// Validate checks a predictor rehydrated from persistence: alpha in range,
+// both classes represented, scores sorted (they are re-sorted rather than
+// rejected — sort order is an internal invariant, not part of the codec).
+func (p *Predictor) Validate() error {
+	if p == nil {
+		return fmt.Errorf("conformal: nil predictor")
+	}
+	if !(p.Alpha > 0 && p.Alpha < 1) || math.IsNaN(p.Alpha) {
+		return fmt.Errorf("conformal: alpha must be in (0,1), got %v", p.Alpha)
+	}
+	if len(p.Pos) == 0 || len(p.Neg) == 0 {
+		return fmt.Errorf("%w (%d pos, %d neg)", ErrSingleClass, len(p.Pos), len(p.Neg))
+	}
+	for _, s := range append(append([]float64(nil), p.Pos...), p.Neg...) {
+		if math.IsNaN(s) {
+			return fmt.Errorf("conformal: NaN calibration score")
+		}
+	}
+	if !sort.Float64sAreSorted(p.Pos) {
+		sort.Float64s(p.Pos)
+	}
+	if !sort.Float64sAreSorted(p.Neg) {
+		sort.Float64s(p.Neg)
+	}
+	return nil
+}
+
+// CalibRows is the total number of calibration rows the predictor was built
+// from.
+func (p *Predictor) CalibRows() int { return len(p.Pos) + len(p.Neg) }
+
+// Threshold returns the per-class nonconformity acceptance threshold for
+// class y (±1): the ⌈(1−α)(n_y+1)⌉-th smallest calibration nonconformity.
+// A score whose nonconformity under y is ≤ the threshold has p_y > α and
+// joins the set. When the calibration class is too small to pin the
+// quantile (⌈(1−α)(n_y+1)⌉ > n_y), the threshold is +Inf — the class is
+// always included, which is the conservative (never under-covering) answer.
+func (p *Predictor) Threshold(y int) float64 {
+	scores := p.Pos
+	if y == -1 {
+		scores = p.Neg
+	}
+	n := len(scores)
+	k := int(math.Ceil((1 - p.Alpha) * float64(n+1)))
+	if k > n {
+		return math.Inf(1)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return scores[k-1]
+}
+
+// PValue returns the conformal p-value of candidate label y (±1) for
+// decision score s: the (smoothed-by-one) fraction of calibration rows of
+// class y at least as nonconforming as s would be under y.
+func (p *Predictor) PValue(s float64, y int) float64 {
+	a := -s // nonconformity under +1
+	scores := p.Pos
+	if y == -1 {
+		a = s
+		scores = p.Neg
+	}
+	// Count of calibration nonconformities ≥ a (ties count against us —
+	// deterministic and conservative).
+	idx := sort.SearchFloat64s(scores, a)
+	count := len(scores) - idx
+	return float64(count+1) / float64(len(scores)+1)
+}
+
+// Prediction is the calibrated answer for one row.
+type Prediction struct {
+	// Set is the prediction set Γ ⊆ {−1,+1} in ascending order: nil/empty
+	// (outlier), {−1}, {+1}, or {−1,+1} (abstain).
+	Set []int `json:"set"`
+	// PPos and PNeg are the per-class conformal p-values.
+	PPos float64 `json:"p_pos"`
+	PNeg float64 `json:"p_neg"`
+	// Label is the point prediction: the class with the larger p-value
+	// (ties resolve to the sign of the decision score, +1 at exactly zero —
+	// the same convention as svm.Evaluate).
+	Label int `json:"label"`
+	// Confidence is 1 minus the smaller p-value: how firmly the row rejects
+	// the runner-up class. 1−α is the auto-decide criterion: Confidence
+	// > 1−α ⟺ the set is a singleton or empty.
+	Confidence float64 `json:"confidence"`
+	// Credibility is the larger p-value: how well the row conforms to its
+	// best class at all. Low credibility with high confidence marks an
+	// outlier (empty set).
+	Credibility float64 `json:"credibility"`
+	// Abstain marks an ambiguous row (both classes in the set); Outlier an
+	// empty set (the row conforms to neither class).
+	Abstain bool `json:"abstain"`
+	Outlier bool `json:"outlier"`
+}
+
+// Covers reports whether the prediction set contains the label.
+func (pr Prediction) Covers(y int) bool {
+	for _, v := range pr.Set {
+		if v == y {
+			return true
+		}
+	}
+	return false
+}
+
+// Predict computes the calibrated prediction for one decision score.
+func (p *Predictor) Predict(s float64) Prediction {
+	pPos := p.PValue(s, +1)
+	pNeg := p.PValue(s, -1)
+	pr := Prediction{PPos: pPos, PNeg: pNeg}
+	if pNeg > p.Alpha {
+		pr.Set = append(pr.Set, -1)
+	}
+	if pPos > p.Alpha {
+		pr.Set = append(pr.Set, +1)
+	}
+	switch {
+	case pPos > pNeg:
+		pr.Label = +1
+	case pNeg > pPos:
+		pr.Label = -1
+	case s >= 0:
+		pr.Label = +1
+	default:
+		pr.Label = -1
+	}
+	lo, hi := pPos, pNeg
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	pr.Confidence = 1 - lo
+	pr.Credibility = hi
+	pr.Abstain = len(pr.Set) == 2
+	pr.Outlier = len(pr.Set) == 0
+	return pr
+}
+
+// PredictBatch maps Predict over a score slice.
+func (p *Predictor) PredictBatch(scores []float64) []Prediction {
+	out := make([]Prediction, len(scores))
+	for i, s := range scores {
+		out[i] = p.Predict(s)
+	}
+	return out
+}
+
+// CoverageReport summarises calibrated predictions against true labels.
+type CoverageReport struct {
+	// N is the number of rows evaluated.
+	N int `json:"n"`
+	// Coverage is the fraction of rows whose true label is in the set —
+	// the quantity guaranteed ≥ 1−α in expectation.
+	Coverage float64 `json:"coverage"`
+	// AvgSetSize is the mean |Γ| (1.0 = perfectly decisive, 2.0 = always
+	// abstaining); the efficiency axis of a set predictor.
+	AvgSetSize float64 `json:"avg_set_size"`
+	// AbstainRate and OutlierRate are the fractions of two-class and empty
+	// sets.
+	AbstainRate float64 `json:"abstain_rate"`
+	OutlierRate float64 `json:"outlier_rate"`
+}
+
+// Coverage evaluates prediction sets for the given decision scores against
+// true ±1 labels.
+func (p *Predictor) Coverage(scores []float64, y []int) (CoverageReport, error) {
+	if len(scores) != len(y) {
+		return CoverageReport{}, fmt.Errorf("conformal: %d scores for %d labels", len(scores), len(y))
+	}
+	if len(y) == 0 {
+		return CoverageReport{}, fmt.Errorf("conformal: empty evaluation set")
+	}
+	var covered, sizes, abstain, outlier int
+	for i, s := range scores {
+		pr := p.Predict(s)
+		if pr.Covers(y[i]) {
+			covered++
+		}
+		sizes += len(pr.Set)
+		if pr.Abstain {
+			abstain++
+		}
+		if pr.Outlier {
+			outlier++
+		}
+	}
+	n := float64(len(y))
+	return CoverageReport{
+		N:           len(y),
+		Coverage:    float64(covered) / n,
+		AvgSetSize:  float64(sizes) / n,
+		AbstainRate: float64(abstain) / n,
+		OutlierRate: float64(outlier) / n,
+	}, nil
+}

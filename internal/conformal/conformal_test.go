@@ -1,0 +1,372 @@
+package conformal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// drawScores samples decision scores from the class-conditional Gaussians
+// N(+sep, 1) for y=+1 and N(−sep, 1) for y=−1 — a synthetic stand-in for
+// SVM decision values whose exchangeability between calibration and test
+// draws is exact, so the coverage guarantee applies verbatim.
+func drawScores(rng *rand.Rand, n int, sep float64) ([]float64, []int) {
+	scores := make([]float64, n)
+	y := make([]int, n)
+	for i := range scores {
+		if rng.Intn(2) == 0 {
+			y[i] = +1
+			scores[i] = rng.NormFloat64() + sep
+		} else {
+			y[i] = -1
+			scores[i] = rng.NormFloat64() - sep
+		}
+	}
+	return scores, y
+}
+
+// TestCoverageGuarantee is the headline property: across miscoverage rates
+// and randomized draws, empirical coverage on held-out rows stays at or
+// above 1−α−ε. The guarantee is an expectation over calibration and test
+// draws; ε absorbs both the binomial test noise and the Beta-distributed
+// calibration-conditional spread (sd ≈ √(α(1−α)/n_y)), which is why the
+// calibration set here is sized so ε=0.03 has real margin.
+func TestCoverageGuarantee(t *testing.T) {
+	const (
+		nCalib = 1000
+		nTest  = 2000
+		eps    = 0.03
+	)
+	for _, alpha := range []float64{0.05, 0.1, 0.2} {
+		var meanCov float64
+		const seeds = 5
+		for seed := int64(1); seed <= seeds; seed++ {
+			rng := rand.New(rand.NewSource(seed * 131))
+			calibS, calibY := drawScores(rng, nCalib, 1.0)
+			testS, testY := drawScores(rng, nTest, 1.0)
+			p, err := Calibrate(calibS, calibY, alpha)
+			if err != nil {
+				t.Fatalf("alpha=%v seed=%d: %v", alpha, seed, err)
+			}
+			rep, err := p.Coverage(testS, testY)
+			if err != nil {
+				t.Fatalf("alpha=%v seed=%d: %v", alpha, seed, err)
+			}
+			meanCov += rep.Coverage / seeds
+			if rep.Coverage < 1-alpha-eps {
+				t.Errorf("alpha=%v seed=%d: coverage %.4f < %v", alpha, seed, rep.Coverage, 1-alpha-eps)
+			}
+			// The sets must also be doing work: with unit separation and
+			// α ≥ 0.05 the average set cannot degenerate to always-both.
+			if rep.AvgSetSize > 1.99 {
+				t.Errorf("alpha=%v seed=%d: avg set size %.3f — predictor always abstains", alpha, seed, rep.AvgSetSize)
+			}
+		}
+		// Averaged over draws the guarantee is tight from above: the mean
+		// must sit at or above 1−α (within residual averaging noise).
+		if meanCov < 1-alpha-0.01 {
+			t.Errorf("alpha=%v: mean coverage %.4f across seeds below %v", alpha, meanCov, 1-alpha-0.01)
+		}
+	}
+}
+
+// TestPerClassCoverage checks the Mondrian construction's stronger,
+// class-conditional guarantee on a class-imbalanced draw.
+func TestPerClassCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const alpha, eps = 0.1, 0.04
+	var calibS []float64
+	var calibY []int
+	// 3:1 imbalance, like the fraud dataset's licit majority.
+	for i := 0; i < 400; i++ {
+		if i%4 == 0 {
+			calibY = append(calibY, +1)
+			calibS = append(calibS, rng.NormFloat64()+1)
+		} else {
+			calibY = append(calibY, -1)
+			calibS = append(calibS, rng.NormFloat64()-1)
+		}
+	}
+	p, err := Calibrate(calibS, calibY, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []int{+1, -1} {
+		covered, n := 0, 0
+		for i := 0; i < 2000; i++ {
+			s := rng.NormFloat64() + float64(class)
+			if p.Predict(s).Covers(class) {
+				covered++
+			}
+			n++
+		}
+		if cov := float64(covered) / float64(n); cov < 1-alpha-eps {
+			t.Errorf("class %+d: conditional coverage %.4f < %v", class, cov, 1-alpha-eps)
+		}
+	}
+}
+
+// TestMetamorphicPermutation: calibration is order-free — any permutation
+// of the calibration rows yields identical predictions.
+func TestMetamorphicPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	calibS, calibY := drawScores(rng, 120, 1.0)
+	testS, _ := drawScores(rng, 50, 1.0)
+	base, err := Calibrate(calibS, calibY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(calibS))
+	permS := make([]float64, len(calibS))
+	permY := make([]int, len(calibY))
+	for i, j := range perm {
+		permS[i] = calibS[j]
+		permY[i] = calibY[j]
+	}
+	shuffled, err := Calibrate(permS, permY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range testS {
+		a, b := base.Predict(s), shuffled.Predict(s)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("permuting calibration order changed the prediction for score %v: %+v vs %+v", s, a, b)
+		}
+	}
+}
+
+// TestMetamorphicDuplication: duplicating one calibration row perturbs
+// every p-value by less than 1/(n+1); away from the decision boundary the
+// sets must not change. Seeds and draws are fixed, so the relation is
+// checked deterministically.
+func TestMetamorphicDuplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	calibS, calibY := drawScores(rng, 160, 1.0)
+	testS, _ := drawScores(rng, 80, 1.0)
+	base, err := Calibrate(calibS, calibY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dup := range []int{0, 17, 59} {
+		dupS := append(append([]float64(nil), calibS...), calibS[dup])
+		dupY := append(append([]int(nil), calibY...), calibY[dup])
+		p2, err := Calibrate(dupS, dupY, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range testS {
+			a, b := base.Predict(s), p2.Predict(s)
+			if !reflect.DeepEqual(a.Set, b.Set) {
+				// Only a p-value within 1/(n+1) of α may flip; anything else
+				// is a real bug.
+				slack := 1.0 / float64(len(calibY)+1)
+				near := func(p float64) bool { return math.Abs(p-0.1) <= slack }
+				if !near(a.PPos) && !near(a.PNeg) {
+					t.Fatalf("dup row %d: set changed for score %v (%v vs %v) with p-values %v/%v far from alpha",
+						dup, s, a.Set, b.Set, a.PPos, a.PNeg)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicRelabel: negating every score and flipping every label is
+// a pure renaming of the classes — prediction sets must mirror exactly.
+func TestMetamorphicRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	calibS, calibY := drawScores(rng, 140, 1.0)
+	testS, _ := drawScores(rng, 60, 1.0)
+	base, err := Calibrate(calibS, calibY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipS := make([]float64, len(calibS))
+	flipY := make([]int, len(calibY))
+	for i := range calibS {
+		flipS[i] = -calibS[i]
+		flipY[i] = -calibY[i]
+	}
+	flipped, err := Calibrate(flipS, flipY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range testS {
+		a, b := base.Predict(s), flipped.Predict(-s)
+		mirrored := make([]int, 0, len(a.Set))
+		for i := len(a.Set) - 1; i >= 0; i-- {
+			mirrored = append(mirrored, -a.Set[i])
+		}
+		if !reflect.DeepEqual(mirrored, append([]int{}, b.Set...)) && !(len(a.Set) == 0 && len(b.Set) == 0) {
+			t.Fatalf("relabeling changed the set for score %v: %v vs mirrored %v", s, a.Set, b.Set)
+		}
+		if a.Abstain != b.Abstain || a.Outlier != b.Outlier {
+			t.Fatalf("relabeling changed abstain/outlier for score %v", s)
+		}
+		if math.Abs(a.Confidence-b.Confidence) > 1e-15 {
+			t.Fatalf("relabeling changed confidence for score %v: %v vs %v", s, a.Confidence, b.Confidence)
+		}
+	}
+}
+
+// TestPValueMonotone: p_{+1} must be nondecreasing and p_{−1} nonincreasing
+// in the decision score — the nonconformity A(y,s) = −y·s is monotone.
+func TestPValueMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	calibS, calibY := drawScores(rng, 100, 1.0)
+	p, err := Calibrate(calibS, calibY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPos, prevNeg := -1.0, 2.0
+	for s := -4.0; s <= 4.0; s += 0.05 {
+		pp, pn := p.PValue(s, +1), p.PValue(s, -1)
+		if pp < prevPos {
+			t.Fatalf("p_pos decreased at score %v", s)
+		}
+		if pn > prevNeg {
+			t.Fatalf("p_neg increased at score %v", s)
+		}
+		prevPos, prevNeg = pp, pn
+	}
+}
+
+// TestThresholdConsistency: membership by p-value (> α) must agree with the
+// quantile-threshold formulation for every class and score.
+func TestThresholdConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	calibS, calibY := drawScores(rng, 90, 1.0)
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4} {
+		p, err := Calibrate(calibS, calibY, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := -3.0; s <= 3.0; s += 0.1 {
+			pr := p.Predict(s)
+			for _, class := range []int{-1, +1} {
+				a := -float64(class) * s
+				byThreshold := a <= p.Threshold(class)
+				if byThreshold != pr.Covers(class) {
+					t.Fatalf("alpha=%v score=%v class=%+d: threshold rule %v, p-value rule %v",
+						alpha, s, class, byThreshold, pr.Covers(class))
+				}
+			}
+		}
+	}
+}
+
+// TestTinyCalibrationConservative: when a class has too few calibration
+// rows to pin the (1−α) quantile, its threshold is +Inf and the class is
+// always included — coverage 1 through universal abstention, never silent
+// under-coverage.
+func TestTinyCalibrationConservative(t *testing.T) {
+	p, err := Calibrate([]float64{2, 1.5, -1.8, -2.2}, []int{1, 1, -1, -1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Threshold(+1), 1) || !math.IsInf(p.Threshold(-1), 1) {
+		t.Fatalf("thresholds %v/%v, want +Inf with 2 calibration rows per class at alpha=0.1",
+			p.Threshold(+1), p.Threshold(-1))
+	}
+	for _, s := range []float64{-5, -0.3, 0, 0.3, 5} {
+		pr := p.Predict(s)
+		if !pr.Abstain || len(pr.Set) != 2 {
+			t.Fatalf("score %v: want universal abstention, got set %v", s, pr.Set)
+		}
+	}
+}
+
+// TestTiesDeterministic: exactly tied scores (common at χ extremes, where
+// truncation saturates the kernel) must produce identical predictions on
+// every call — ties count against membership conservatively, never
+// randomly.
+func TestTiesDeterministic(t *testing.T) {
+	calibS := []float64{1, 1, 1, 1, -1, -1, -1, -1}
+	calibY := []int{1, 1, 1, 1, -1, -1, -1, -1}
+	p, err := Calibrate(calibS, calibY, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := p.Predict(1)
+	for i := 0; i < 100; i++ {
+		if got := p.Predict(1); !reflect.DeepEqual(got, first) {
+			t.Fatalf("call %d: tied-score prediction changed: %+v vs %+v", i, got, first)
+		}
+	}
+	// A calibration score exactly equal to the test nonconformity counts
+	// toward the p-value (≥, not >): all four +1 calibration rows tie, so
+	// p_pos = (4+1)/(4+1) = 1.
+	if got := p.PValue(1, +1); got != 1 {
+		t.Fatalf("tied p-value = %v, want 1 (ties count toward membership)", got)
+	}
+}
+
+// TestCalibrateErrors: the degenerate inputs fail loudly and typed.
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate([]float64{1, 2}, []int{1, 1}, 0.1); !errors.Is(err, ErrSingleClass) {
+		t.Fatalf("single-class calibration: got %v, want ErrSingleClass", err)
+	}
+	if _, err := Calibrate([]float64{1, -1}, []int{1, -1}, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := Calibrate([]float64{1, -1}, []int{1, -1}, 1); err == nil {
+		t.Fatal("alpha=1 accepted")
+	}
+	if _, err := Calibrate([]float64{1, -1}, []int{1, -1}, math.NaN()); err == nil {
+		t.Fatal("alpha=NaN accepted")
+	}
+	if _, err := Calibrate([]float64{1}, []int{1, -1}, 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Calibrate([]float64{1, -1}, []int{1, 0}, 0.1); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+	if _, err := Calibrate(nil, nil, 0.1); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+}
+
+// TestValidateRehydration: a predictor round-tripped through persistence
+// with unsorted scores is repaired, and corrupt ones are rejected.
+func TestValidateRehydration(t *testing.T) {
+	p := &Predictor{Alpha: 0.1, Pos: []float64{3, -1, 2}, Neg: []float64{0.5, -2}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(p.Pos) || !sort.Float64sAreSorted(p.Neg) {
+		t.Fatal("Validate did not restore sort order")
+	}
+	bad := []*Predictor{
+		nil,
+		{Alpha: 0, Pos: []float64{1}, Neg: []float64{1}},
+		{Alpha: 1.5, Pos: []float64{1}, Neg: []float64{1}},
+		{Alpha: 0.1, Pos: []float64{1}},
+		{Alpha: 0.1, Pos: []float64{math.NaN()}, Neg: []float64{1}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("bad predictor %d validated", i)
+		}
+	}
+}
+
+// TestConfidenceThresholdDuality: Confidence > 1−α exactly characterises
+// the auto-decidable rows (singleton or empty set).
+func TestConfidenceThresholdDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	calibS, calibY := drawScores(rng, 200, 1.0)
+	p, err := Calibrate(calibS, calibY, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testS, _ := drawScores(rng, 400, 1.0)
+	for _, s := range testS {
+		pr := p.Predict(s)
+		auto := len(pr.Set) <= 1
+		if byConf := pr.Confidence > 1-p.Alpha; byConf != auto {
+			t.Fatalf("score %v: confidence %v vs set %v — duality broken", s, pr.Confidence, pr.Set)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package sdt evaluates a confidence channel with signal-detection-theory
+// metrics: does high confidence actually discriminate correct predictions
+// from incorrect ones?
+//
+// Calibration-style metrics (ECE and friends) ask whether stated confidence
+// matches accuracy on average; they are blind to a channel that reports the
+// same confidence everywhere. Following Cacioli's "Do LLMs Know What They
+// Know?" framing, this package instead treats correctness as the signal in
+// a type-2 detection task: each prediction is a trial, "correct" trials are
+// signal, "incorrect" trials are noise, and the confidence score is the
+// observer's evidence. Discrimination is then
+//
+//   - HitRate / FalseAlarmRate: P(confidence > criterion | correct) vs
+//     P(confidence > criterion | incorrect) at a single criterion (the
+//     median confidence), log-linear corrected so 0/1 rates stay finite;
+//   - DPrime: z(HR) − z(FAR), the classic equal-variance Gaussian
+//     sensitivity index. With confidence as the type-2 evidence axis this is
+//     the single-criterion analogue of meta-d′: 0 means confidence carries
+//     no information about correctness, ≳1 is solid discrimination;
+//   - AUC: the criterion-free rank statistic P(conf_correct > conf_incorrect)
+//     (ties count half) — the full type-2 ROC area, 0.5 = chance.
+//
+// The decomposition matters operationally: a confidence channel can be
+// recalibrated after the fact, but only if it discriminates in the first
+// place. These metrics gate the latter.
+package sdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDegenerate is returned when every prediction is correct or every
+// prediction is incorrect — a one-class trial set on which discrimination
+// is undefined (there is nothing to tell apart).
+var ErrDegenerate = errors.New("sdt: all predictions share one correctness class, discrimination undefined")
+
+// Report bundles the signal-detection metrics of one confidence channel.
+type Report struct {
+	// N is the number of trials; Correct how many were signal (correct
+	// predictions). Accuracy is their ratio.
+	N        int     `json:"n"`
+	Correct  int     `json:"correct"`
+	Accuracy float64 `json:"accuracy"`
+	// Criterion is the confidence threshold the single-criterion rates are
+	// computed at (the median confidence).
+	Criterion float64 `json:"criterion"`
+	// HitRate is P(conf > criterion | correct); FalseAlarmRate is
+	// P(conf > criterion | incorrect). Both log-linear corrected.
+	HitRate        float64 `json:"hit_rate"`
+	FalseAlarmRate float64 `json:"false_alarm_rate"`
+	// DPrime is z(HitRate) − z(FalseAlarmRate).
+	DPrime float64 `json:"d_prime"`
+	// AUC is the criterion-free type-2 ROC area: the probability that a
+	// random correct prediction carries higher confidence than a random
+	// incorrect one (ties half).
+	AUC float64 `json:"auc"`
+}
+
+// zScore is the probit (inverse standard-normal CDF).
+func zScore(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// EvaluateConfidence computes the SDT report for a confidence channel:
+// conf[i] is the stated confidence of prediction i, correct[i] whether the
+// prediction was right. Returns ErrDegenerate when correctness is
+// single-class.
+func EvaluateConfidence(conf []float64, correct []bool) (Report, error) {
+	if len(conf) != len(correct) {
+		return Report{}, fmt.Errorf("sdt: %d confidences for %d outcomes", len(conf), len(correct))
+	}
+	if len(conf) == 0 {
+		return Report{}, fmt.Errorf("sdt: empty trial set")
+	}
+	for _, c := range conf {
+		if math.IsNaN(c) {
+			return Report{}, fmt.Errorf("sdt: NaN confidence")
+		}
+	}
+	r := Report{N: len(conf)}
+	for _, ok := range correct {
+		if ok {
+			r.Correct++
+		}
+	}
+	r.Accuracy = float64(r.Correct) / float64(r.N)
+	nCorrect, nIncorrect := r.Correct, r.N-r.Correct
+	if nCorrect == 0 || nIncorrect == 0 {
+		return Report{}, fmt.Errorf("%w (%d correct, %d incorrect)", ErrDegenerate, nCorrect, nIncorrect)
+	}
+
+	// Single criterion: the median confidence. "Yes, I was right" ⟺ conf
+	// strictly above it, so an all-equal channel yields HR = FAR = 0 after
+	// correction and d′ = 0 — no information, as it should.
+	sorted := append([]float64(nil), conf...)
+	sort.Float64s(sorted)
+	r.Criterion = sorted[(len(sorted)-1)/2]
+	var hits, fas int
+	for i, c := range conf {
+		if c > r.Criterion {
+			if correct[i] {
+				hits++
+			} else {
+				fas++
+			}
+		}
+	}
+	// Log-linear correction (add half a trial to each cell) keeps z finite
+	// at observed rates of exactly 0 or 1.
+	r.HitRate = (float64(hits) + 0.5) / (float64(nCorrect) + 1)
+	r.FalseAlarmRate = (float64(fas) + 0.5) / (float64(nIncorrect) + 1)
+	r.DPrime = zScore(r.HitRate) - zScore(r.FalseAlarmRate)
+
+	// Criterion-free AUC via midranks (the Mann–Whitney statistic on the
+	// correct-vs-incorrect partition).
+	idx := make([]int, len(conf))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return conf[idx[a]] < conf[idx[b]] })
+	ranks := make([]float64, len(conf))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && conf[idx[j+1]] == conf[idx[i]] {
+			j++
+		}
+		mid := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var rCorrect float64
+	for i, ok := range correct {
+		if ok {
+			rCorrect += ranks[i]
+		}
+	}
+	u := rCorrect - float64(nCorrect)*float64(nCorrect+1)/2
+	r.AUC = u / (float64(nCorrect) * float64(nIncorrect))
+	return r, nil
+}
+
+// FromPredictions is the conformal-channel convenience: predicted labels
+// and stated confidences against true labels.
+func FromPredictions(labels []int, conf []float64, y []int) (Report, error) {
+	if len(labels) != len(y) || len(conf) != len(y) {
+		return Report{}, fmt.Errorf("sdt: %d labels / %d confidences for %d truths", len(labels), len(conf), len(y))
+	}
+	correct := make([]bool, len(y))
+	for i := range y {
+		correct[i] = labels[i] == y[i]
+	}
+	return EvaluateConfidence(conf, correct)
+}

@@ -1,0 +1,139 @@
+package sdt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPerfectDiscrimination: confidence that perfectly separates correct
+// from incorrect trials must score AUC 1 and a strongly positive d′.
+func TestPerfectDiscrimination(t *testing.T) {
+	conf := []float64{0.9, 0.95, 0.99, 0.97, 0.2, 0.1, 0.3, 0.25}
+	correct := []bool{true, true, true, true, false, false, false, false}
+	r, err := EvaluateConfidence(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AUC != 1 {
+		t.Errorf("AUC = %v, want 1", r.AUC)
+	}
+	if r.DPrime <= 1 {
+		t.Errorf("d' = %v, want strongly positive", r.DPrime)
+	}
+	if r.HitRate <= r.FalseAlarmRate {
+		t.Errorf("hit rate %v not above false-alarm rate %v", r.HitRate, r.FalseAlarmRate)
+	}
+	if r.Accuracy != 0.5 || r.N != 8 || r.Correct != 4 {
+		t.Errorf("bookkeeping: %+v", r)
+	}
+}
+
+// TestChanceDiscrimination: confidence independent of correctness hovers at
+// AUC ≈ 0.5 and d′ ≈ 0.
+func TestChanceDiscrimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 4000
+	conf := make([]float64, n)
+	correct := make([]bool, n)
+	for i := range conf {
+		conf[i] = rng.Float64()
+		correct[i] = rng.Intn(2) == 0
+	}
+	r, err := EvaluateConfidence(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.AUC-0.5) > 0.03 {
+		t.Errorf("AUC = %v, want ≈0.5 on independent confidence", r.AUC)
+	}
+	if math.Abs(r.DPrime) > 0.15 {
+		t.Errorf("d' = %v, want ≈0", r.DPrime)
+	}
+}
+
+// TestFlatConfidence: a channel that says the same thing on every trial
+// carries no information — d′ exactly 0, AUC exactly 0.5 (all midrank
+// ties).
+func TestFlatConfidence(t *testing.T) {
+	conf := []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0.9}
+	correct := []bool{true, false, true, false, true, false}
+	r, err := EvaluateConfidence(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DPrime != 0 {
+		t.Errorf("d' = %v, want exactly 0 on a flat channel", r.DPrime)
+	}
+	if r.AUC != 0.5 {
+		t.Errorf("AUC = %v, want exactly 0.5 on a flat channel", r.AUC)
+	}
+}
+
+// TestDegenerateTyped: all-correct and all-incorrect trial sets return the
+// typed error, never NaN metrics.
+func TestDegenerateTyped(t *testing.T) {
+	for _, allCorrect := range []bool{true, false} {
+		correct := []bool{allCorrect, allCorrect, allCorrect}
+		_, err := EvaluateConfidence([]float64{0.1, 0.5, 0.9}, correct)
+		if !errors.Is(err, ErrDegenerate) {
+			t.Fatalf("all-%v trials: got %v, want ErrDegenerate", allCorrect, err)
+		}
+	}
+}
+
+// TestInputValidation covers the malformed-input paths.
+func TestInputValidation(t *testing.T) {
+	if _, err := EvaluateConfidence([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := EvaluateConfidence(nil, nil); err == nil {
+		t.Fatal("empty trial set accepted")
+	}
+	if _, err := EvaluateConfidence([]float64{math.NaN(), 0.5}, []bool{true, false}); err == nil {
+		t.Fatal("NaN confidence accepted")
+	}
+}
+
+// TestRatesFiniteAtExtremes: observed hit/false-alarm rates of exactly 0 or
+// 1 must stay finite after the log-linear correction, so d′ is always a
+// number.
+func TestRatesFiniteAtExtremes(t *testing.T) {
+	conf := []float64{0.99, 0.98, 0.97, 0.01, 0.02, 0.03}
+	correct := []bool{true, true, true, false, false, false}
+	r, err := EvaluateConfidence(conf, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{"d'": r.DPrime, "hit": r.HitRate, "fa": r.FalseAlarmRate} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v, want finite", name, v)
+		}
+	}
+	if r.HitRate >= 1 || r.FalseAlarmRate <= 0 {
+		t.Errorf("corrected rates %v/%v must stay strictly inside (0,1)", r.HitRate, r.FalseAlarmRate)
+	}
+}
+
+// TestFromPredictions: the label/truth convenience wrapper matches the
+// boolean form.
+func TestFromPredictions(t *testing.T) {
+	labels := []int{1, -1, 1, -1}
+	y := []int{1, -1, -1, 1}
+	conf := []float64{0.9, 0.8, 0.3, 0.2}
+	want, err := EvaluateConfidence(conf, []bool{true, true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromPredictions(labels, conf, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("FromPredictions = %+v, want %+v", got, want)
+	}
+	if _, err := FromPredictions([]int{1}, conf, y); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

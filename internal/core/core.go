@@ -16,12 +16,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/circuit"
+	"repro/internal/conformal"
+	"repro/internal/conformal/sdt"
 	"repro/internal/dist"
 	"repro/internal/kernel"
 	"repro/internal/mps"
@@ -82,6 +86,17 @@ type Options struct {
 	// training-state handles on the Model, so Predict re-simulates the
 	// training rows instead of pinning them in memory.
 	CacheBytes int64
+	// CalibFrac enables conformal calibration: the fraction of training
+	// rows Fit holds out (deterministically, every ⌊1/CalibFrac⌋-th row) as
+	// the split-conformal calibration partition. The SVM is trained on the
+	// remaining rows only, the calibration rows' decision scores build a
+	// conformal.Predictor stored on the Model, and PredictSets then returns
+	// prediction sets with coverage ≥ 1−Alpha. 0 disables calibration (the
+	// score-only pipeline, unchanged); valid values lie in (0, 0.5].
+	CalibFrac float64
+	// Alpha is the conformal miscoverage rate α (target coverage 1−α).
+	// Used only when CalibFrac > 0; 0 selects conformal.DefaultAlpha (0.1).
+	Alpha float64
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Procs == 0 {
 		o.Procs = 1
+	}
+	if o.CalibFrac > 0 && o.Alpha == 0 {
+		o.Alpha = conformal.DefaultAlpha
 	}
 	return o
 }
@@ -206,6 +224,12 @@ func New(opts Options) (*Framework, error) {
 	if err := ansatz.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if opts.CalibFrac < 0 || opts.CalibFrac > 0.5 {
+		return nil, fmt.Errorf("core: CalibFrac must lie in (0, 0.5] (0 disables calibration), got %v", opts.CalibFrac)
+	}
+	if opts.CalibFrac > 0 && (!(opts.Alpha > 0 && opts.Alpha < 1) || math.IsNaN(opts.Alpha)) {
+		return nil, fmt.Errorf("core: Alpha must lie in (0,1), got %v", opts.Alpha)
+	}
 	cfg := mps.Config{}
 	if opts.UseParallelBackend {
 		cfg.Backend = backend.NewParallel(0)
@@ -297,6 +321,11 @@ type Model struct {
 	// then falls back to re-simulating the training rows through the state
 	// cache.
 	States []*mps.MPS
+	// Conformal is the split-conformal set predictor calibrated during Fit
+	// when Options.CalibFrac > 0; nil on a score-only model. When present,
+	// TrainX/TrainY/States hold the proper-training subset only (the SVM
+	// never saw the calibration rows).
+	Conformal *conformal.Predictor
 
 	// opts and fingerprint capture the training context for persistence:
 	// Save embeds them so LoadModel can rebuild an equivalent Framework and
@@ -311,6 +340,11 @@ type Model struct {
 // exposes it per model so operators can tell which training context each
 // resident model carries, and whether a hot reload actually swapped it.
 func (m *Model) Fingerprint() string { return m.fingerprint }
+
+// Calibrated reports whether the model carries a conformal predictor and can
+// serve prediction sets (PredictSets); false on score-only models, including
+// every model trained or persisted before calibration existed.
+func (m *Model) Calibrated() bool { return m != nil && m.Conformal != nil }
 
 // StatesBytes is the total payload of the retained training-state handles
 // (0 when the model re-simulates training rows on demand).
@@ -363,6 +397,25 @@ type FitReport struct {
 	// wall-clock of this Fit's Gram computation (the EstimateRowCost
 	// calibration ground truth).
 	RowCosts RowCostSummary
+	// Calibrated marks a Fit that held out a conformal calibration
+	// partition (Options.CalibFrac > 0). The remaining fields below are
+	// meaningful only when it is set.
+	Calibrated bool
+	// Alpha is the conformal miscoverage rate the model was calibrated at;
+	// CalibRows the held-out partition size.
+	Alpha     float64
+	CalibRows int
+	// CalibCoverage evaluates the calibrated sets on the calibration
+	// partition itself — a sanity readout (coverage there is ≥ 1−α by
+	// construction), narrated by the trainer alongside held-out coverage.
+	CalibCoverage conformal.CoverageReport
+	// SDT scores the confidence channel on the calibration partition as a
+	// type-2 signal-detection task (does confidence discriminate correct
+	// from incorrect point predictions?). SDTValid is false when the
+	// partition was degenerate for SDT (e.g. the SVM got every calibration
+	// row right), in which case SDT is the zero Report, not an error.
+	SDT      sdt.Report
+	SDTValid bool
 }
 
 // Fit computes the training Gram matrix with the configured distribution
@@ -404,6 +457,10 @@ func (f *Framework) FitCtx(ctx context.Context, X [][]float64, y []int) (*Model,
 		report.CacheHitRate = float64(report.CacheHits) / float64(total)
 	}
 
+	if f.opts.CalibFrac > 0 {
+		return f.fitCalibrated(fitSp, res, X, y, report)
+	}
+
 	svmSp := fitSp.Child("svm_train")
 	var model *svm.Model
 	if f.opts.C > 0 {
@@ -441,6 +498,136 @@ func (f *Framework) FitCtx(ctx context.Context, X [][]float64, y []int) (*Model,
 		SVM: model, TrainX: X, TrainY: y, States: f.retainStates(res.States),
 		opts: f.opts, fingerprint: f.q.Fingerprint(),
 	}, report, nil
+}
+
+// fitCalibrated finishes a Fit whose options enable conformal calibration:
+// the Gram matrix is already computed over all rows; a deterministic
+// calibration partition is carved out, the SVM is trained on the proper
+// subset only, and the calibration rows' decision scores (rows of the full
+// Gram restricted to proper columns — exactly the inference kernel those
+// rows would see) build the model's conformal predictor.
+func (f *Framework) fitCalibrated(fitSp *obs.Span, res *dist.Result, X [][]float64, y []int, report *FitReport) (*Model, *FitReport, error) {
+	properIdx, calibIdx := calibSplit(len(y), f.opts.CalibFrac)
+	if len(calibIdx) == 0 || !bothClasses(y, properIdx) || !bothClasses(y, calibIdx) {
+		return nil, nil, fmt.Errorf("core: calibration split (%d proper / %d calibration rows) must keep both classes on both sides — more data or a different CalibFrac needed", len(properIdx), len(calibIdx))
+	}
+	subGram := submatrix(res.Gram, properIdx, properIdx)
+	calibK := submatrix(res.Gram, calibIdx, properIdx)
+	subY := subLabels(y, properIdx)
+	calibY := subLabels(y, calibIdx)
+
+	svmSp := fitSp.Child("svm_train")
+	svmSp.SetAttr("proper_rows", len(properIdx))
+	var err error
+	if f.opts.C > 0 {
+		report.BestC = f.opts.C
+	} else if report.BestC, err = selectC(subGram, subY); err != nil {
+		svmSp.End()
+		return nil, nil, fmt.Errorf("core: C selection: %w", err)
+	}
+	model, err := svm.Train(subGram, subY, report.BestC, 0)
+	if err != nil {
+		svmSp.End()
+		return nil, nil, fmt.Errorf("core: svm: %w", err)
+	}
+	if scores, err := model.DecisionBatch(subGram); err == nil {
+		if auc, err := svm.AUC(scores, subY); err == nil {
+			report.TrainAUC = auc
+		}
+	}
+	report.SupportVecs = len(model.SupportVectors())
+	svmSp.SetAttr("best_c", report.BestC)
+	svmSp.SetAttr("support_vecs", report.SupportVecs)
+	svmSp.End()
+
+	calSp := fitSp.Child("calibrate")
+	calSp.SetAttr("rows", len(calibIdx))
+	calSp.SetAttr("alpha", f.opts.Alpha)
+	defer calSp.End()
+	calibScores, err := model.DecisionBatch(calibK)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: calibration scores: %w", err)
+	}
+	pred, err := conformal.Calibrate(calibScores, calibY, f.opts.Alpha)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	report.Calibrated = true
+	report.Alpha = f.opts.Alpha
+	report.CalibRows = pred.CalibRows()
+	if cov, err := pred.Coverage(calibScores, calibY); err == nil {
+		report.CalibCoverage = cov
+	}
+	prs := pred.PredictBatch(calibScores)
+	labels := make([]int, len(prs))
+	conf := make([]float64, len(prs))
+	for i, pr := range prs {
+		labels[i] = pr.Label
+		conf[i] = pr.Confidence
+	}
+	if rep, err := sdt.FromPredictions(labels, conf, calibY); err == nil {
+		report.SDT = rep
+		report.SDTValid = true
+	} else if !errors.Is(err, sdt.ErrDegenerate) {
+		return nil, nil, fmt.Errorf("core: sdt: %w", err)
+	}
+
+	properX := make([][]float64, len(properIdx))
+	for a, i := range properIdx {
+		properX[a] = X[i]
+	}
+	var properStates []*mps.MPS
+	if res.States != nil {
+		properStates = make([]*mps.MPS, len(properIdx))
+		for a, i := range properIdx {
+			properStates[a] = res.States[i]
+		}
+	}
+	return &Model{
+		SVM: model, TrainX: properX, TrainY: subY,
+		States: f.retainStates(properStates), Conformal: pred,
+		opts: f.opts, fingerprint: f.q.Fingerprint(),
+	}, report, nil
+}
+
+// calibSplit deterministically partitions row indices 0..n−1 for split
+// conformal: every stride-th row (stride = max(2, round(1/frac))) joins the
+// calibration partition, the rest form the proper-training subset. The
+// partition is a fixed function of (n, frac) so a refit of the same data
+// reproduces the same model.
+func calibSplit(n int, frac float64) (proper, calib []int) {
+	stride := int(math.Round(1 / frac))
+	if stride < 2 {
+		stride = 2
+	}
+	for i := 0; i < n; i++ {
+		if i%stride == stride-1 {
+			calib = append(calib, i)
+		} else {
+			proper = append(proper, i)
+		}
+	}
+	return proper, calib
+}
+
+// submatrix extracts the rows × cols block of k into a fresh matrix.
+func submatrix(k [][]float64, rows, cols []int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for a, i := range rows {
+		out[a] = make([]float64, len(cols))
+		for b, j := range cols {
+			out[a][b] = k[i][j]
+		}
+	}
+	return out
+}
+
+func subLabels(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for a, i := range idx {
+		out[a] = y[i]
+	}
+	return out
 }
 
 // retainStates decides whether the model keeps its training-state handles.
@@ -551,6 +738,32 @@ func (f *Framework) PredictCtx(ctx context.Context, m *Model, X [][]float64) ([]
 	scores, err := m.SVM.DecisionBatch(res.Gram)
 	decSp.End()
 	return scores, err
+}
+
+// ErrNotCalibrated is returned by PredictSets on a model without a conformal
+// predictor — a score-only model (trained with CalibFrac = 0, or loaded from
+// a pre-calibration model file).
+var ErrNotCalibrated = errors.New("core: model is not calibrated — train with Options.CalibFrac > 0 for prediction sets")
+
+// PredictSets returns calibrated conformal predictions (prediction set,
+// per-class p-values, confidence, abstain/outlier flags) for new rows. The
+// model must have been trained with calibration enabled (ErrNotCalibrated
+// otherwise); the underlying kernel work is identical to Predict.
+func (f *Framework) PredictSets(m *Model, X [][]float64) ([]conformal.Prediction, error) {
+	return f.PredictSetsCtx(context.Background(), m, X)
+}
+
+// PredictSetsCtx is PredictSets under a context carrying an optional trace
+// span.
+func (f *Framework) PredictSetsCtx(ctx context.Context, m *Model, X [][]float64) ([]conformal.Prediction, error) {
+	if !m.Calibrated() {
+		return nil, ErrNotCalibrated
+	}
+	scores, err := f.PredictCtx(ctx, m, X)
+	if err != nil {
+		return nil, err
+	}
+	return m.Conformal.PredictBatch(scores), nil
 }
 
 // Evaluate scores the model on labelled data.

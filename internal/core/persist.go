@@ -25,16 +25,20 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/conformal"
 	"repro/internal/dist"
 	"repro/internal/mps"
 	"repro/internal/svm"
 )
 
 // modelMagic identifies serialised model files; modelVersion is bumped on any
-// incompatible layout change.
+// incompatible layout change. Version 2 added the conformal-calibration
+// block; gob decodes missing fields to their zero values, so version-1 files
+// (score-only by definition) are still read — DecodeModel accepts both.
 const (
-	modelMagic   uint32 = 0x514b4d31 // "QKM1"
-	modelVersion uint32 = 1
+	modelMagic      uint32 = 0x514b4d31 // "QKM1"
+	modelVersion    uint32 = 2
+	minModelVersion uint32 = 1
 )
 
 // modelFile is the gob payload of a serialised model. All sim-relevant fields
@@ -55,6 +59,19 @@ type modelFile struct {
 	Transport          string
 	UseParallelBackend bool
 	CacheBytes         int64
+	// CalibFrac / Alpha are the conformal-calibration options the model was
+	// trained under; zero on score-only models (and in every version-1
+	// file, where the fields do not exist and gob-decode to zero).
+	CalibFrac, Alpha float64
+
+	// ConformalAlpha / ConformalPos / ConformalNeg persist the calibrated
+	// split-conformal predictor: the miscoverage rate and the sorted
+	// per-class calibration nonconformity scores. All empty on a score-only
+	// model — and since gob omits zero-value fields on encode, an
+	// uncalibrated version-2 payload is byte-identical to a version-1 one.
+	ConformalAlpha float64
+	ConformalPos   []float64
+	ConformalNeg   []float64
 
 	// Fingerprint is the kernel simulation-context fingerprint at save time.
 	Fingerprint string
@@ -134,10 +151,17 @@ func (m *Model) Encode(w io.Writer) error {
 		Transport:          dist.TransportName(dist.BaseTransport(m.opts.Transport)),
 		UseParallelBackend: m.opts.UseParallelBackend,
 		CacheBytes:         m.opts.CacheBytes,
+		CalibFrac:          m.opts.CalibFrac,
+		Alpha:              m.opts.Alpha,
 		Fingerprint:        m.fingerprint,
 		SVM:                svmBlob,
 		TrainX:             m.TrainX,
 		TrainY:             m.TrainY,
+	}
+	if m.Conformal != nil {
+		mf.ConformalAlpha = m.Conformal.Alpha
+		mf.ConformalPos = m.Conformal.Pos
+		mf.ConformalNeg = m.Conformal.Neg
 	}
 	if m.States != nil {
 		mf.States = make([][]byte, len(m.States))
@@ -194,8 +218,8 @@ func DecodeModel(r io.Reader, tune func(*Options)) (*Framework, *Model, error) {
 	if mg := binary.LittleEndian.Uint32(hdr[0:4]); mg != modelMagic {
 		return nil, nil, fmt.Errorf("core: not a model file (magic 0x%08x)", mg)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != modelVersion {
-		return nil, nil, fmt.Errorf("core: unsupported model version %d (this binary reads %d)", v, modelVersion)
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v < minModelVersion || v > modelVersion {
+		return nil, nil, fmt.Errorf("core: unsupported model version %d (this binary reads %d..%d)", v, minModelVersion, modelVersion)
 	}
 	var mf modelFile
 	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
@@ -218,6 +242,7 @@ func DecodeModel(r io.Reader, tune func(*Options)) (*Framework, *Model, error) {
 		Features: mf.Features, Layers: mf.Layers, Distance: mf.Distance,
 		Gamma: mf.Gamma, C: mf.C, Procs: mf.Procs, Strategy: strategy, Transport: transport,
 		UseParallelBackend: mf.UseParallelBackend, CacheBytes: mf.CacheBytes,
+		CalibFrac: mf.CalibFrac, Alpha: mf.Alpha,
 	}
 	if tune != nil {
 		tune(&opts)
@@ -267,9 +292,21 @@ func DecodeModel(r io.Reader, tune func(*Options)) (*Framework, *Model, error) {
 		}
 		states = fw.retainStates(states)
 	}
+	// Rehydrate the conformal predictor when the file carries one; a
+	// score-only file (every version-1 file, or a version-2 save with
+	// CalibFrac = 0) leaves it nil and the model serves scores exactly as
+	// before calibration existed.
+	var pred *conformal.Predictor
+	if len(mf.ConformalPos) > 0 || len(mf.ConformalNeg) > 0 {
+		pred = &conformal.Predictor{Alpha: mf.ConformalAlpha, Pos: mf.ConformalPos, Neg: mf.ConformalNeg}
+		if err := pred.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: decoding model: %w", err)
+		}
+	}
 	m := &Model{
 		SVM: sv, TrainX: mf.TrainX, TrainY: mf.TrainY, States: states,
-		opts: fw.opts, fingerprint: mf.Fingerprint,
+		Conformal: pred,
+		opts:      fw.opts, fingerprint: mf.Fingerprint,
 	}
 	return fw, m, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"path/filepath"
 	"testing"
 )
@@ -155,6 +157,96 @@ func TestEncodeRejectsHandAssembledModel(t *testing.T) {
 	var nilModel *Model
 	if err := nilModel.Encode(&buf); err == nil {
 		t.Fatal("nil model must not encode")
+	}
+}
+
+// TestSaveLoadCalibrated: the conformal predictor round-trips — a loaded
+// model serves identical prediction sets and reports Calibrated.
+func TestSaveLoadCalibrated(t *testing.T) {
+	train, test := preparedData(t, 8, 40)
+	fw, err := New(Options{Features: 8, C: 1, CalibFrac: 0.25, Alpha: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fw.PredictSets(model, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2, model2, err := DecodeModel(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model2.Calibrated() {
+		t.Fatal("calibrated model decoded as score-only")
+	}
+	if got := fw2.Options(); got.CalibFrac != 0.25 || got.Alpha != 0.2 {
+		t.Fatalf("calibration options did not round-trip: %+v", got)
+	}
+	if model2.Conformal.Alpha != model.Conformal.Alpha ||
+		len(model2.Conformal.Pos) != len(model.Conformal.Pos) ||
+		len(model2.Conformal.Neg) != len(model.Conformal.Neg) {
+		t.Fatalf("predictor did not round-trip: %+v vs %+v", model2.Conformal, model.Conformal)
+	}
+	got, err := fw2.PredictSets(model2, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Confidence != want[i].Confidence || got[i].PPos != want[i].PPos ||
+			got[i].PNeg != want[i].PNeg || len(got[i].Set) != len(want[i].Set) {
+			t.Fatalf("prediction %d differs after round-trip: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVersion1BackwardCompat: a pre-conformal (version-1) model file still
+// loads and scores bit-identically. The fixture is honest: an uncalibrated
+// version-2 payload is byte-identical to a version-1 payload (gob omits
+// zero-value fields), so patching the header version to 1 reconstructs
+// exactly what the old binary wrote.
+func TestVersion1BackwardCompat(t *testing.T) {
+	fw, model, testX := fitSmallModel(t, Options{Features: 6, C: 1})
+	want, err := fw.Predict(model, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint32(v1[4:8], 1)
+
+	fw2, model2, err := DecodeModel(bytes.NewReader(v1), nil)
+	if err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
+	}
+	if model2.Calibrated() {
+		t.Fatal("version-1 model decoded as calibrated")
+	}
+	if model2.Conformal != nil {
+		t.Fatal("version-1 model carries a conformal predictor")
+	}
+	got, err := fw2.Predict(model2, testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d differs on version-1 load: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if _, err := fw2.PredictSets(model2, testX); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("PredictSets on version-1 model: got %v, want ErrNotCalibrated", err)
 	}
 }
 

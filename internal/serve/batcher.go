@@ -7,17 +7,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/conformal"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
+
+// confidenceBounds are the histogram buckets for per-row conformal
+// confidence: coarse below the action region and fine near 1, where the
+// auto-decide criterion (confidence > 1−α) lives.
+var confidenceBounds = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
 
 // job is one request travelling through the batching queue.
 type job struct {
 	rows   [][]float64
 	enq    time.Time
 	scores []float64
-	err    error
-	done   chan struct{}
+	// preds are the per-row calibrated predictions, nil when the resident
+	// model is score-only.
+	preds []conformal.Prediction
+	err   error
+	done  chan struct{}
 	// span is the request's trace span (from the DoCtx context), nil when
 	// the request is untraced. At scatter time the scheduler reconstructs
 	// the request's queue_wait / batch_compute / scatter phases under it.
@@ -44,10 +53,12 @@ type Batcher struct {
 	start time.Time
 
 	// reqHist observes end-to-end request latency (enqueue → scatter) and
-	// qwHist its queue-wait component (enqueue → batch dispatch). Atomic —
+	// qwHist its queue-wait component (enqueue → batch dispatch); confHist
+	// observes per-row conformal confidence on a calibrated model. Atomic —
 	// observed outside the counter mutex.
-	reqHist *obs.Histogram
-	qwHist  *obs.Histogram
+	reqHist  *obs.Histogram
+	qwHist   *obs.Histogram
+	confHist *obs.Histogram
 
 	mu           sync.Mutex
 	requests     int64
@@ -56,6 +67,7 @@ type Batcher struct {
 	rejected     int64
 	canceled     int64
 	errs         int64
+	abstentions  int64
 	maxBatchRows int
 	predictWall  time.Duration
 	waitWall     time.Duration
@@ -73,14 +85,15 @@ func New(fw *core.Framework, model *core.Model, cfg Config) (*Batcher, error) {
 		return nil, fmt.Errorf("serve: model training rows do not match the framework's %d features", features)
 	}
 	s := &Batcher{
-		fw:      fw,
-		model:   model,
-		cfg:     cfg.withDefaults(),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		start:   time.Now(),
-		reqHist: obs.NewHistogram(),
-		qwHist:  obs.NewHistogram(),
+		fw:       fw,
+		model:    model,
+		cfg:      cfg.withDefaults(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		start:    time.Now(),
+		reqHist:  obs.NewHistogram(),
+		qwHist:   obs.NewHistogram(),
+		confHist: obs.NewHistogram(confidenceBounds...),
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	go s.loop()
@@ -116,25 +129,40 @@ func (s *Batcher) Do(rows [][]float64) ([]float64, error) {
 // the rows (they were already gathered); the caller gets ErrCanceled either
 // way.
 func (s *Batcher) DoCtx(ctx context.Context, rows [][]float64) ([]float64, error) {
+	scores, _, err := s.DoFullCtx(ctx, rows)
+	return scores, err
+}
+
+// DoFull is DoFullCtx under a background context.
+func (s *Batcher) DoFull(rows [][]float64) ([]float64, []conformal.Prediction, error) {
+	return s.DoFullCtx(context.Background(), rows)
+}
+
+// DoFullCtx submits rows and returns both the raw decision scores and — when
+// the resident model is calibrated — the per-row conformal predictions
+// (prediction set, p-values, confidence, abstain/outlier flags), computed
+// once per batch from the same scores. On a score-only model the prediction
+// slice is nil and the call behaves exactly like DoCtx.
+func (s *Batcher) DoFullCtx(ctx context.Context, rows [][]float64) ([]float64, []conformal.Prediction, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrCanceled, err)
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("%w: no rows", ErrBadRequest)
+		return nil, nil, fmt.Errorf("%w: no rows", ErrBadRequest)
 	}
 	if len(rows) > s.cfg.MaxRequestRows {
-		return nil, fmt.Errorf("%w: %d rows, limit %d", ErrTooLarge, len(rows), s.cfg.MaxRequestRows)
+		return nil, nil, fmt.Errorf("%w: %d rows, limit %d", ErrTooLarge, len(rows), s.cfg.MaxRequestRows)
 	}
 	features := s.fw.Options().Features
 	for i, r := range rows {
 		if len(r) != features {
-			return nil, fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadRequest, i, len(r), features)
+			return nil, nil, fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadRequest, i, len(r), features)
 		}
 	}
 	j := &job{rows: rows, enq: time.Now(), done: make(chan struct{}), span: obs.SpanFromContext(ctx)}
 	select {
 	case <-s.stop:
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	default:
 	}
 	// Count the request before the enqueue so a concurrent stats scrape can
@@ -152,7 +180,7 @@ func (s *Batcher) DoCtx(ctx context.Context, rows [][]float64) ([]float64, error
 		s.rows -= int64(len(rows))
 		s.rejected++
 		s.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, nil, ErrQueueFull
 	}
 	select {
 	case <-j.done:
@@ -167,7 +195,7 @@ func (s *Batcher) DoCtx(ctx context.Context, rows [][]float64) ([]float64, error
 		case <-j.done:
 		default:
 		}
-		return nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+		return nil, nil, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
 	case <-s.done:
 		// The loop exited; it drained and answered the queue before closing
 		// done, but a job that squeezed past the stop check and enqueued
@@ -180,10 +208,10 @@ func (s *Batcher) DoCtx(ctx context.Context, rows [][]float64) ([]float64, error
 			s.requests--
 			s.rows -= int64(len(j.rows))
 			s.mu.Unlock()
-			return nil, ErrClosed
+			return nil, nil, ErrClosed
 		}
 	}
-	return j.scores, j.err
+	return j.scores, j.preds, j.err
 }
 
 // releaseCanceled releases a canceled job the scheduler pulled from the
@@ -205,23 +233,26 @@ func (s *Batcher) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Requests:         s.requests,
-		Rows:             s.rows,
-		Batches:          s.batches,
-		CrossCalls:       s.batches, // one kernel computation per batch
-		MaxBatchRows:     s.maxBatchRows,
-		Rejected:         s.rejected,
-		Canceled:         s.canceled,
-		Errors:           s.errs,
-		QueuedJobs:       len(s.queue),
-		PredictWall:      s.predictWall,
-		WaitWall:         s.waitWall,
-		Cache:            s.fw.CacheStats(),
-		Comm:             s.fw.CommStats(),
-		RowCosts:         s.fw.RowCostStats(),
-		RequestSeconds:   s.reqHist.Snapshot(),
-		QueueWaitSeconds: s.qwHist.Snapshot(),
-		Uptime:           time.Since(s.start),
+		Requests:          s.requests,
+		Rows:              s.rows,
+		Batches:           s.batches,
+		CrossCalls:        s.batches, // one kernel computation per batch
+		MaxBatchRows:      s.maxBatchRows,
+		Rejected:          s.rejected,
+		Canceled:          s.canceled,
+		Errors:            s.errs,
+		Abstentions:       s.abstentions,
+		Calibrated:        s.model.Calibrated(),
+		QueuedJobs:        len(s.queue),
+		PredictWall:       s.predictWall,
+		WaitWall:          s.waitWall,
+		Cache:             s.fw.CacheStats(),
+		Comm:              s.fw.CommStats(),
+		RowCosts:          s.fw.RowCostStats(),
+		RequestSeconds:    s.reqHist.Snapshot(),
+		QueueWaitSeconds:  s.qwHist.Snapshot(),
+		ConfidenceBuckets: s.confHist.Snapshot(),
+		Uptime:            time.Since(s.start),
 	}
 }
 
@@ -329,10 +360,26 @@ func (s *Batcher) process(batch []*job, rowCount int) {
 	computeEnd := time.Now()
 	elapsed := computeEnd.Sub(dispatch)
 
+	// Calibrated models answer with prediction sets computed from the same
+	// scores — pure arithmetic over the calibration quantiles, no extra
+	// kernel work. Score-only models skip this entirely (preds stays nil).
+	var preds []conformal.Prediction
+	var abstained int64
+	if err == nil && s.model.Calibrated() {
+		preds = s.model.Conformal.PredictBatch(scores)
+		for _, pr := range preds {
+			if pr.Abstain {
+				abstained++
+			}
+			s.confHist.Observe(pr.Confidence)
+		}
+	}
+
 	s.mu.Lock()
 	s.batches++
 	s.predictWall += elapsed
 	s.waitWall += queued
+	s.abstentions += abstained
 	if rowCount > s.maxBatchRows {
 		s.maxBatchRows = rowCount
 	}
@@ -347,6 +394,9 @@ func (s *Batcher) process(batch []*job, rowCount int) {
 			j.err = fmt.Errorf("serve: batch of %d rows failed: %w", rowCount, err)
 		} else {
 			j.scores = scores[off : off+len(j.rows) : off+len(j.rows)]
+			if preds != nil {
+				j.preds = preds[off : off+len(j.rows) : off+len(j.rows)]
+			}
 		}
 		off += len(j.rows)
 		close(j.done)

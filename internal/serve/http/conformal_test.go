@@ -1,0 +1,213 @@
+package http
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/serve/registry"
+)
+
+// trainAndSaveCalibrated fits a conformal-calibrated model, persists it, and
+// returns the path, the model, its in-process score truth, and the test rows.
+func trainAndSaveCalibrated(t *testing.T, dir, name string) (string, *core.Model, []float64, [][]float64) {
+	t.Helper()
+	full := dataset.GenerateElliptic(dataset.EllipticConfig{
+		Features: 6, NumIllicit: 40, NumLicit: 40, Seed: 1,
+	})
+	train, test, err := dataset.PrepareSplit(full, 64, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.New(core.Options{Features: 6, C: 1, Procs: 2, CalibFrac: 0.25, Alpha: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := fw.Fit(train.X, train.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fw.Predict(model, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, model, want, test.X
+}
+
+// newCalibratedStack serves one calibrated model over httptest.
+func newCalibratedStack(t *testing.T) (*httptest.Server, *core.Model, []float64, [][]float64) {
+	t.Helper()
+	path, model, want, testX := trainAndSaveCalibrated(t, t.TempDir(), "cal.bin")
+	reg, err := registry.Open([]registry.Spec{{Name: "cal", Path: path}}, registry.Config{Batch: serve.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRouter(reg, Config{}).Handler())
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+	return ts, model, want, testX
+}
+
+// TestPredictCalibratedResponse: a calibrated model's /predict answer carries
+// prediction_set / p_values / confidence / abstain per row, agreeing with the
+// model's own conformal predictor, and the listing reports calibrated with α.
+func TestPredictCalibratedResponse(t *testing.T) {
+	ts, model, want, testX := newCalibratedStack(t)
+
+	resp, pr := postPredict(t, ts.URL+"/v1/models/cal/predict", testX)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !pr.Calibrated || len(pr.Predictions) != len(testX) {
+		t.Fatalf("calibrated=%v with %d predictions for %d rows", pr.Calibrated, len(pr.Predictions), len(testX))
+	}
+	for i, p := range pr.Predictions {
+		cp := model.Conformal.Predict(want[i])
+		if p.Confidence != cp.Confidence || p.Abstain != cp.Abstain ||
+			p.PValues["pos"] != cp.PPos || p.PValues["neg"] != cp.PNeg {
+			t.Fatalf("row %d: served %+v, predictor says %+v", i, p, cp)
+		}
+		if len(p.PredictionSet) != len(cp.Set) {
+			t.Fatalf("row %d: set size %d, want %d", i, len(p.PredictionSet), len(cp.Set))
+		}
+		for _, c := range p.PredictionSet {
+			if c != -1 && c != 1 {
+				t.Fatalf("row %d: prediction set %v outside ±1", i, p.PredictionSet)
+			}
+		}
+	}
+
+	// The wire names are part of the contract, not just the Go struct tags.
+	raw := rawBody(t, ts.URL+"/v1/models/cal/predict", testX[:1])
+	for _, field := range []string{`"prediction_set"`, `"p_values"`, `"confidence"`, `"abstain"`, `"calibrated":true`} {
+		if !strings.Contains(raw, field) {
+			t.Fatalf("response missing %s: %s", field, raw)
+		}
+	}
+
+	var ml modelsResponse
+	getJSON(t, ts.URL+"/v1/models", &ml)
+	if len(ml.Models) != 1 || !ml.Models[0].Calibrated || ml.Models[0].Alpha != 0.2 || ml.Models[0].CalibRows == 0 {
+		t.Fatalf("listing does not report calibration: %+v", ml.Models)
+	}
+}
+
+// TestMetricsConformalFamilies: the abstention counter and the confidence
+// histogram are exported per model after calibrated traffic.
+func TestMetricsConformalFamilies(t *testing.T) {
+	ts, _, _, testX := newCalibratedStack(t)
+	if resp, _ := postPredict(t, ts.URL+"/v1/models/cal/predict", testX); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict failed: %d", resp.StatusCode)
+	}
+	text := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		`qkernel_serve_abstentions_total{model="cal"}`,
+		`qkernel_serve_model_calibrated{model="cal"} 1`,
+		`qkernel_serve_confidence_bucket{model="cal",le=`,
+		// Every served row lands in the confidence histogram.
+		fmt.Sprintf(`qkernel_serve_confidence_count{model="cal"} %d`, len(testX)),
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, grepLines(text, "qkernel_serve_"))
+		}
+	}
+}
+
+// TestScoreOnlyBackCompat is the persistence/serving backward-compat gate: a
+// pre-conformal (version-1 header) model file loads, its /predict response is
+// bit-identical to the in-process Predict and carries none of the conformal
+// fields, and the listing reports calibrated: false.
+func TestScoreOnlyBackCompat(t *testing.T) {
+	dir := t.TempDir()
+	path, want, testX := trainAndSave(t, dir, "v1.bin", 0.5)
+
+	// Reconstruct what a pre-conformal binary wrote: a score-only model's gob
+	// payload is byte-identical across versions (absent fields are omitted),
+	// so only the header version differs.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(blob[4:8], 1)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := registry.Open([]registry.Spec{{Name: "legacy", Path: path}}, registry.Config{Batch: serve.Config{}})
+	if err != nil {
+		t.Fatalf("version-1 model rejected by the registry: %v", err)
+	}
+	ts := httptest.NewServer(NewRouter(reg, Config{}).Handler())
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+
+	resp, pr := postPredict(t, ts.URL+"/v1/models/legacy/predict", testX)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(pr.Scores) != len(want) {
+		t.Fatalf("%d scores for %d rows", len(pr.Scores), len(want))
+	}
+	for i := range want {
+		if pr.Scores[i] != want[i] {
+			t.Fatalf("score %d: served %v, in-process %v (must be bit-identical)", i, pr.Scores[i], want[i])
+		}
+	}
+	// The wire surface is byte-compatible with the pre-calibration responses:
+	// none of the conformal keys appear at all.
+	raw := rawBody(t, ts.URL+"/v1/models/legacy/predict", testX[:2])
+	for _, absent := range []string{"prediction_set", "p_values", "confidence", "abstain", "calibrated", "predictions"} {
+		if strings.Contains(raw, absent) {
+			t.Fatalf("score-only response leaks conformal field %q: %s", absent, raw)
+		}
+	}
+
+	var ml modelsResponse
+	getJSON(t, ts.URL+"/v1/models", &ml)
+	if len(ml.Models) != 1 || ml.Models[0].Calibrated {
+		t.Fatalf("version-1 model listed as calibrated: %+v", ml.Models)
+	}
+	listing, err := json.Marshal(ml.Models[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(listing), `"alpha"`) {
+		t.Fatalf("score-only listing leaks alpha: %s", listing)
+	}
+
+	text := getMetrics(t, ts.URL)
+	if !strings.Contains(text, `qkernel_serve_model_calibrated{model="legacy"} 0`) {
+		t.Fatalf("calibrated gauge not zero:\n%s", grepLines(text, "model_calibrated"))
+	}
+}
+
+// rawBody POSTs rows and returns the raw response body for wire-name checks.
+func rawBody(t *testing.T, url string, rows [][]float64) string {
+	t.Helper()
+	body, err := json.Marshal(PredictRequest{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}

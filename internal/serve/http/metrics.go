@@ -47,6 +47,15 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st serve.Stats) float64 { return float64(st.Errors) })
 	family("qkernel_serve_canceled_total", "counter", "queued requests whose client disconnected before dispatch",
 		func(st serve.Stats) float64 { return float64(st.Canceled) })
+	family("qkernel_serve_abstentions_total", "counter", "rows answered with the ambiguous two-class prediction set (calibrated models only)",
+		func(st serve.Stats) float64 { return float64(st.Abstentions) })
+	family("qkernel_serve_model_calibrated", "gauge", "whether the resident model serves conformal prediction sets",
+		func(st serve.Stats) float64 {
+			if st.Calibrated {
+				return 1
+			}
+			return 0
+		})
 	family("qkernel_serve_predict_seconds_total", "counter", "wall-clock inside batched kernel calls",
 		func(st serve.Stats) float64 { return st.PredictWall.Seconds() })
 	family("qkernel_serve_wait_seconds_total", "counter", "request time spent queued before batch dispatch",
@@ -99,6 +108,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st serve.Stats) obs.HistogramSnapshot { return st.RequestSeconds })
 	histFamily("qkernel_serve_queue_wait_seconds", "request queue wait, enqueue to batch dispatch",
 		func(st serve.Stats) obs.HistogramSnapshot { return st.QueueWaitSeconds })
+	histFamily("qkernel_serve_confidence", "per-row conformal confidence of calibrated predictions",
+		func(st serve.Stats) obs.HistogramSnapshot { return st.ConfidenceBuckets })
 
 	sb.WriteString("# HELP qkernel_dist_transport configured shard wire per model (value fixed at 1)\n# TYPE qkernel_dist_transport gauge\n")
 	for _, model := range names {

@@ -106,6 +106,23 @@ type PredictRequest struct {
 	Rows [][]float64 `json:"rows"`
 }
 
+// Prediction is one row's calibrated conformal answer inside a
+// PredictResponse.
+type Prediction struct {
+	// PredictionSet is Γ ⊆ {−1,+1} in ascending order: a singleton is a
+	// confident auto-decidable answer, both classes means abstain (route to
+	// review), empty marks an outlier conforming to neither class.
+	PredictionSet []int `json:"prediction_set"`
+	// PValues carries the per-class conformal p-values.
+	PValues map[string]float64 `json:"p_values"`
+	// Confidence is 1 − the runner-up p-value; confidence > 1−α is the
+	// auto-decide criterion. Credibility is the best class's p-value.
+	Confidence  float64 `json:"confidence"`
+	Credibility float64 `json:"credibility"`
+	Abstain     bool    `json:"abstain"`
+	Outlier     bool    `json:"outlier"`
+}
+
 // PredictResponse is the POST /predict answer.
 type PredictResponse struct {
 	// Model is the registry name that scored the rows (resolves the legacy
@@ -116,6 +133,12 @@ type PredictResponse struct {
 	Scores []float64 `json:"scores"`
 	// Labels are the thresholded scores (±1).
 	Labels []int `json:"labels"`
+	// Calibrated marks a model serving conformal prediction sets;
+	// Predictions then carries one calibrated answer per row. Both are
+	// omitted entirely on a score-only model, keeping its response
+	// byte-compatible with the pre-calibration surface.
+	Calibrated  bool         `json:"calibrated,omitempty"`
+	Predictions []Prediction `json:"predictions,omitempty"`
 }
 
 // Stats is the GET /stats body: per-model batcher counters plus the
@@ -239,7 +262,7 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request, name str
 		root.SetAttr("rows", len(req.Rows))
 		ctx = obs.ContextWithSpan(ctx, root)
 	}
-	scores, err := rt.reg.PredictCtx(ctx, name, req.Rows)
+	scores, preds, err := rt.reg.PredictFullCtx(ctx, name, req.Rows)
 	if tr != nil {
 		if err != nil {
 			tr.Root().SetAttr("error", err.Error())
@@ -280,7 +303,26 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request, name str
 			labels[i] = -1
 		}
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{Model: resolved, Scores: scores, Labels: labels})
+	resp := PredictResponse{Model: resolved, Scores: scores, Labels: labels}
+	if preds != nil {
+		resp.Calibrated = true
+		resp.Predictions = make([]Prediction, len(preds))
+		for i, pr := range preds {
+			set := pr.Set
+			if set == nil {
+				set = []int{} // outlier: an explicit empty set, not JSON null
+			}
+			resp.Predictions[i] = Prediction{
+				PredictionSet: set,
+				PValues:       map[string]float64{"pos": pr.PPos, "neg": pr.PNeg},
+				Confidence:    pr.Confidence,
+				Credibility:   pr.Credibility,
+				Abstain:       pr.Abstain,
+				Outlier:       pr.Outlier,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // traceListResponse is the GET /debug/trace body: the IDs currently retained

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/conformal"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -234,18 +235,28 @@ func (r *Registry) Predict(name string, rows [][]float64) ([]float64, error) {
 // disconnects while its rows are still queued gets its batcher slot released
 // instead of computing a dead request (serve.ErrCanceled).
 func (r *Registry) PredictCtx(ctx context.Context, name string, rows [][]float64) ([]float64, error) {
+	scores, _, err := r.PredictFullCtx(ctx, name, rows)
+	return scores, err
+}
+
+// PredictFullCtx is PredictCtx returning the calibrated predictions
+// alongside the raw scores: nil predictions when the serving model is
+// score-only, so callers branch on the slice rather than the model. The
+// swap-retry semantics are identical — both slices always come from one
+// model generation.
+func (r *Registry) PredictFullCtx(ctx context.Context, name string, rows [][]float64) ([]float64, []conformal.Prediction, error) {
 	for {
 		inst, err := r.Get(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		scores, err := inst.Batcher.DoCtx(ctx, rows)
+		scores, preds, err := inst.Batcher.DoFullCtx(ctx, rows)
 		if errors.Is(err, serve.ErrClosed) {
 			if cur, gerr := r.Get(name); gerr == nil && cur != inst {
 				continue // swapped beneath us; the new instance serves
 			}
 		}
-		return scores, err
+		return scores, preds, err
 	}
 }
 
@@ -359,6 +370,12 @@ type ModelInfo struct {
 	Chi            int   `json:"chi"`
 	StatesResident bool  `json:"states_resident"`
 	StateBytes     int64 `json:"state_bytes"`
+	// Calibrated reports whether the model serves conformal prediction
+	// sets; Alpha is its miscoverage rate and CalibRows its calibration
+	// partition size (both omitted on score-only models).
+	Calibrated bool    `json:"calibrated"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	CalibRows  int     `json:"calib_rows,omitempty"`
 	// CacheBytes is the current resident state-cache payload;
 	// CacheBudgetBytes this model's effective budget (its share of the
 	// registry-wide budget, or its own saved setting when no shared budget
@@ -384,7 +401,7 @@ func (r *Registry) List() []ModelInfo {
 		if budget <= 0 {
 			budget = fw.CacheStats().Budget
 		}
-		infos = append(infos, ModelInfo{
+		mi := ModelInfo{
 			Name:             name,
 			Path:             e.path,
 			Default:          i == 0,
@@ -396,11 +413,17 @@ func (r *Registry) List() []ModelInfo {
 			Chi:              model.MaxBond(),
 			StatesResident:   model.States != nil,
 			StateBytes:       model.StatesBytes(),
+			Calibrated:       model.Calibrated(),
 			CacheBytes:       fw.CacheStats().Bytes,
 			CacheBudgetBytes: budget,
 			LoadedAt:         inst.LoadedAt,
 			LastError:        e.lastError(),
-		})
+		}
+		if model.Calibrated() {
+			mi.Alpha = model.Conformal.Alpha
+			mi.CalibRows = model.Conformal.CalibRows()
+		}
+		infos = append(infos, mi)
 	}
 	return infos
 }

@@ -134,6 +134,11 @@ type Stats struct {
 	// Canceled counts requests whose context ended while they were queued;
 	// their slot was released without computing the dead request.
 	Canceled int64
+	// Calibrated reports whether the resident model carries a conformal
+	// predictor; Abstentions counts rows it answered with the two-class
+	// (ambiguous) prediction set. Always zero on a score-only model.
+	Calibrated  bool
+	Abstentions int64
 	// QueuedJobs is the current queue occupancy.
 	QueuedJobs int
 	// PredictWall is the cumulative wall-clock inside the batched kernel
@@ -157,6 +162,10 @@ type Stats struct {
 	// histogram families, and where p50/p99 come from.
 	RequestSeconds   obs.HistogramSnapshot
 	QueueWaitSeconds obs.HistogramSnapshot
+	// ConfidenceBuckets is the per-row conformal confidence histogram on a
+	// calibrated model (the qkernel_serve_confidence family); empty counts
+	// on a score-only model.
+	ConfidenceBuckets obs.HistogramSnapshot
 	// Uptime is the time since New.
 	Uptime time.Duration
 }

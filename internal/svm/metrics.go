@@ -1,10 +1,17 @@
 package svm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrSingleClass is returned by AUC (and therefore Evaluate) when the labels
+// contain only one class — ranking quality is undefined with nothing to rank
+// against, and a typed error beats a silent NaN: callers can errors.Is it and
+// fall back to the threshold metrics.
+var ErrSingleClass = errors.New("svm: AUC undefined with a single class")
 
 // Metrics bundles the classification scores the paper reports in Tables II,
 // III and Figs. 9–10: accuracy, recall, precision and Area Under the ROC
@@ -17,7 +24,12 @@ type Metrics struct {
 }
 
 // Evaluate computes all metrics from decision scores and true labels.
-// Predicted labels are sign(score).
+// Predicted labels are sign(score) with the deterministic boundary
+// convention pred(0) = +1: a score of exactly zero — the decision boundary,
+// and the score every model emits on degenerate input — always predicts the
+// positive (illicit) class, so repeated evaluations of tied scores are
+// reproducible. Returns ErrSingleClass when y contains only one class (AUC
+// would be undefined).
 func Evaluate(scores []float64, y []int) (Metrics, error) {
 	if len(scores) != len(y) {
 		return Metrics{}, fmt.Errorf("svm: %d scores for %d labels", len(scores), len(y))
@@ -61,7 +73,13 @@ func Evaluate(scores []float64, y []int) (Metrics, error) {
 
 // AUC computes the Area Under the ROC Curve via the Mann–Whitney rank
 // statistic with midrank tie handling: the probability that a random
-// positive scores above a random negative (ties count half).
+// positive scores above a random negative, where a positive tied with a
+// negative counts exactly half. Midranks make the result deterministic
+// under any input permutation (no order-dependent tie breaking): all-equal
+// scores give exactly 0.5, and the value always agrees with the trapezoid
+// integral of ROCCurve (which walks tied scores as a single threshold
+// step). Returns ErrSingleClass when y contains only one class — a typed
+// error rather than NaN.
 func AUC(scores []float64, y []int) (float64, error) {
 	if len(scores) != len(y) {
 		return 0, fmt.Errorf("svm: %d scores for %d labels", len(scores), len(y))
@@ -78,7 +96,7 @@ func AUC(scores []float64, y []int) (float64, error) {
 		}
 	}
 	if nPos == 0 || nNeg == 0 {
-		return 0, fmt.Errorf("svm: AUC undefined with a single class (%d pos, %d neg)", nPos, nNeg)
+		return 0, fmt.Errorf("%w (%d pos, %d neg)", ErrSingleClass, nPos, nNeg)
 	}
 	idx := make([]int, len(scores))
 	for i := range idx {

@@ -1,0 +1,122 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAUCSingleClassTyped: one-class input yields the typed error through
+// both entry points, and never a NaN value.
+func TestAUCSingleClassTyped(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3}
+	for _, y := range [][]int{{1, 1, 1}, {-1, -1, -1}} {
+		auc, err := AUC(scores, y)
+		if !errors.Is(err, ErrSingleClass) {
+			t.Fatalf("AUC(%v): got %v, want ErrSingleClass", y, err)
+		}
+		if math.IsNaN(auc) {
+			t.Fatal("AUC returned NaN alongside the error")
+		}
+		if _, err := Evaluate(scores, y); !errors.Is(err, ErrSingleClass) {
+			t.Fatalf("Evaluate(%v): got %v, want ErrSingleClass", y, err)
+		}
+	}
+}
+
+// TestAUCTiesDeterministic: tied scores resolve by midrank — a positive tied
+// with a negative counts half, the result is permutation-invariant, and
+// all-equal scores give exactly 0.5.
+func TestAUCTiesDeterministic(t *testing.T) {
+	// One +1 and one −1 tied at 0.5; the remaining pair is ordered
+	// correctly. Pairs: (tied +, tied −) = 0.5, (tied +, low −) = 1,
+	// (high +, tied −) = 1, (high +, low −) = 1 → AUC = 3.5/4.
+	scores := []float64{0.5, 0.5, 0.9, 0.1}
+	y := []int{+1, -1, +1, -1}
+	auc, err := AUC(scores, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 3.5/4 {
+		t.Fatalf("tied AUC = %v, want 0.875 (ties count half)", auc)
+	}
+
+	// Permutation invariance: shuffle the rows, value must be identical.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(y))
+		ps := make([]float64, len(y))
+		py := make([]int, len(y))
+		for i, j := range perm {
+			ps[i] = scores[j]
+			py[i] = y[j]
+		}
+		got, err := AUC(ps, py)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != auc {
+			t.Fatalf("AUC not permutation-invariant under ties: %v vs %v", got, auc)
+		}
+	}
+
+	// All-equal scores: every positive ties every negative → exactly 0.5.
+	flat := []float64{0.3, 0.3, 0.3, 0.3}
+	if auc, _ := AUC(flat, y); auc != 0.5 {
+		t.Fatalf("all-equal AUC = %v, want exactly 0.5", auc)
+	}
+}
+
+// TestAUCTiesAgreeWithROC: midrank AUC equals the trapezoid integral of the
+// ROC curve on heavily tied data (the curve walks a tie group as one
+// threshold step — the diagonal segment the midrank convention integrates).
+func TestAUCTiesAgreeWithROC(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 40
+		scores := make([]float64, n)
+		y := make([]int, n)
+		y[0], y[1] = +1, -1 // both classes guaranteed
+		for i := range scores {
+			// Quantised scores force many cross-class ties.
+			scores[i] = float64(rng.Intn(5)) / 4
+			if i > 1 {
+				y[i] = 2*rng.Intn(2) - 1
+			}
+		}
+		a1, err := AUC(scores, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := ROCCurve(scores, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a2 := AUCFromROC(pts); math.Abs(a1-a2) > 1e-12 {
+			t.Fatalf("trial %d: rank AUC %v != ROC AUC %v on tied scores", trial, a1, a2)
+		}
+	}
+}
+
+// TestEvaluateZeroScoreBoundary: the documented pred(0) = +1 convention —
+// zero scores always count as positive predictions.
+func TestEvaluateZeroScoreBoundary(t *testing.T) {
+	m, err := Evaluate([]float64{0, 0, 1, -1}, []int{+1, -1, +1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: zero score, true +1 → TP. Row 1: zero score, true −1 → FP.
+	// Accuracy = 3/4, recall = 2/2, precision = 2/3.
+	if m.Accuracy != 0.75 || m.Recall != 1 || math.Abs(m.Precision-2.0/3) > 1e-15 {
+		t.Fatalf("zero-score convention broken: %+v", m)
+	}
+}
+
+// TestEvaluateRejectsBadLabels: a label outside ±1 is an error, not a silent
+// false-negative bucket.
+func TestEvaluateRejectsBadLabels(t *testing.T) {
+	if _, err := Evaluate([]float64{1, 2}, []int{1, 0}); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+}

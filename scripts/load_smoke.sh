@@ -4,8 +4,10 @@
 # them from one registry (`-models alpha=...,beta=...`) with the admin
 # endpoint on, drives LOAD_CLIENTS concurrent loadgen clients split across
 # both models for LOAD_DURATION, and fails on any 5xx, any transport error,
-# or p99 latency above LOAD_P99_BUDGET_MS. A hot reload is fired mid-run via
-# POST /admin/reload to prove the swap drops nothing under load.
+# p99 latency above LOAD_P99_BUDGET_MS, or any response missing conformal
+# confidence fields (both models are trained calibrated and loadgen runs with
+# -expect-calibrated). A hot reload is fired mid-run via POST /admin/reload to
+# prove the swap drops nothing under load.
 set -eu
 
 : "${LOAD_CLIENTS:=200}"
@@ -23,8 +25,8 @@ trap cleanup EXIT INT TERM
 go build -o "$tmp/qkernel" ./cmd/qkernel
 go build -o "$tmp/loadgen" ./examples/loadgen
 
-"$tmp/qkernel" train -size 16 -features 6 -gamma 0.5 -out "$tmp/alpha.bin" >/dev/null
-"$tmp/qkernel" train -size 16 -features 6 -gamma 1.0 -out "$tmp/beta.bin" >/dev/null
+"$tmp/qkernel" train -size 16 -features 6 -gamma 0.5 -calib-frac 0.25 -alpha 0.1 -out "$tmp/alpha.bin" >/dev/null
+"$tmp/qkernel" train -size 16 -features 6 -gamma 1.0 -calib-frac 0.25 -alpha 0.1 -out "$tmp/beta.bin" >/dev/null
 
 "$tmp/qkernel" serve -addr 127.0.0.1:0 \
     -models "alpha=$tmp/alpha.bin,beta=$tmp/beta.bin" \
@@ -61,7 +63,7 @@ reload_pid=$!
 
 if ! "$tmp/loadgen" -url "$url" -models alpha,beta \
     -clients "$LOAD_CLIENTS" -duration "$LOAD_DURATION" -features 6 \
-    -p99-budget-ms "$LOAD_P99_BUDGET_MS" >"$tmp/report.json"; then
+    -p99-budget-ms "$LOAD_P99_BUDGET_MS" -expect-calibrated >"$tmp/report.json"; then
     echo "load-smoke: loadgen gates failed" >&2
     cat "$tmp/report.json" >&2
     cat "$tmp/serve.log" >&2
