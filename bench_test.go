@@ -12,6 +12,7 @@
 package main
 
 import (
+	"math/rand"
 	"runtime"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
+	"repro/internal/linalg"
 	"repro/internal/mps"
 	"repro/internal/serve"
 	"repro/internal/svm"
@@ -603,6 +605,87 @@ func BenchmarkServeBatch(b *testing.B) {
 	if st.CrossCalls > 0 {
 		b.ReportMetric(float64(st.Rows)/float64(st.CrossCalls), "rows-per-cross")
 	}
+}
+
+// --- Batched state materialisation (one GEMM per band) ----------------------
+
+// BenchmarkBatchedStates measures the tentpole directly: materialising a
+// panel of kernel rows through the banded engine (per gate position, one
+// fused batch GEMM across the whole band) against the same rows forced
+// through the row-at-a-time path (band=1). Both sub-benches produce
+// bit-identical states (enforced by the metamorphic suite); the ns/op gap is
+// the dispatch and cache-locality win of banding alone.
+func BenchmarkBatchedStates(b *testing.B) {
+	rows := benchData(b, 24, 16)
+	for _, cfg := range []struct {
+		name string
+		band int
+	}{
+		{"band=1", 1},
+		{"banded", 0}, // 0 = the adaptive default (4·GOMAXPROCS clamped to cache budget)
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			q := &kernel.Quantum{
+				Ansatz:    circuit.Ansatz{Qubits: 16, Layers: 2, Distance: 2, Gamma: 0.5},
+				BatchBand: cfg.band,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.StatesBatched(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatesScaling reports kernel.States throughput at 1, 2 and 4
+// workers on the same row set. The acceptance target is ≥0.75× linear from
+// 1→4 workers; on a single-CPU host the rows/s metrics are recorded for
+// comparison on multi-core hardware rather than gated here.
+func BenchmarkStatesScaling(b *testing.B) {
+	rows := benchData(b, 16, 16)
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			q := &kernel.Quantum{
+				Ansatz:  circuit.Ansatz{Qubits: 16, Layers: 2, Distance: 2, Gamma: 0.5},
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.States(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*len(rows))/elapsed, "rows/s")
+			}
+		})
+	}
+}
+
+// BenchmarkBlockedEig exercises the cache-blocked tridiagonal eigensolver
+// behind SVDTrunc: a 128×64 factor puts the 64×64 Gram block well above
+// blockedEigMinDim, so every iteration runs Householder tridiagonalisation +
+// implicit-shift QL rather than cyclic Jacobi. The workspace is warmed
+// outside the timer, so allocs/op reads the solver's steady state.
+func BenchmarkBlockedEig(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := linalg.Random(rng, 128, 64)
+	var ws linalg.Workspace
+	linalg.SVDTrunc(&ws, a, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var s0 float64
+	for i := 0; i < b.N; i++ {
+		res := linalg.SVDTrunc(&ws, a, 1)
+		s0 = res.S[0]
+	}
+	b.ReportMetric(s0, "σ₀")
 }
 
 func benchName(prefix string, v int) string {

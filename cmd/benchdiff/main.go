@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -43,26 +44,43 @@ type event struct {
 	Output string `json:"Output"`
 }
 
-// nsPerOp extracts the ns/op figure from a benchmark result line like
-// "BenchmarkFoo-8   \t       3\t  40321317 ns/op\t ...".
-func nsPerOp(line string) (float64, bool) {
-	fields := strings.Fields(line)
-	for i, f := range fields {
-		if f == "ns/op" && i > 0 {
-			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return 0, false
-			}
-			return v, true
-		}
-	}
-	return 0, false
+// result holds the per-benchmark metrics the gate tracks: ns/op always,
+// allocs/op when the benchmark reports allocations (b.ReportAllocs).
+type result struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
 }
 
-// load parses a go-test JSON event stream into benchmark → ns/op. The
+// parseResult extracts the ns/op (and, when present, allocs/op) figures from
+// a benchmark result line like
+// "BenchmarkFoo-8   \t       3\t  40321317 ns/op\t  18819712 B/op\t  3185 allocs/op".
+func parseResult(line string) (result, bool) {
+	var r result
+	ok := false
+	fields := strings.Fields(line)
+	for i, f := range fields {
+		if i == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch f {
+		case "ns/op":
+			r.ns, ok = v, true
+		case "allocs/op":
+			r.allocs, r.hasAllocs = v, true
+		}
+	}
+	return r, ok
+}
+
+// load parses a go-test JSON event stream into benchmark → metrics. The
 // result line may be split across several Output events, so lines are
 // reassembled per benchmark before scanning.
-func load(path string) (map[string]float64, error) {
+func load(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -70,7 +88,7 @@ func load(path string) (map[string]float64, error) {
 	defer f.Close()
 
 	partial := map[string]string{}
-	out := map[string]float64{}
+	out := map[string]result{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -94,8 +112,8 @@ func load(path string) (map[string]float64, error) {
 			}
 			full, rest := text[:nl], text[nl+1:]
 			partial[ev.Test] = rest
-			if v, ok := nsPerOp(full); ok {
-				out[ev.Test] = v
+			if r, ok := parseResult(full); ok {
+				out[ev.Test] = r
 			}
 		}
 	}
@@ -120,9 +138,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "", "committed baseline BENCH_<date>.json")
 	currentPath := fs.String("current", "", "freshly generated bench result file")
-	threshold := fs.Float64("threshold", 0.20, "fail when current/baseline − 1 exceeds this fraction")
+	threshold := fs.Float64("threshold", 0.20, "fail when current/baseline − 1 exceeds this fraction (ns/op and allocs/op)")
 	match := fs.String("match", ".*", "only gate benchmarks whose name matches this regexp")
 	minNs := fs.Float64("min-ns", 1e6, "skip benchmarks whose baseline is below this many ns/op (too noisy at smoke iteration counts)")
+	minAllocs := fs.Float64("min-allocs", 100, "skip the allocs/op gate when the baseline is below this many allocs/op (a ±1-alloc wobble on a tiny count is noise, not a leak)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -180,18 +199,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !re.MatchString(name) {
 			continue
 		}
-		if base < *minNs {
-			fmt.Fprintf(stdout, "  ~  %-55s %12.0f → %12.0f ns/op (below -min-ns, not gated)\n", name, base, cur)
+		if base.ns < *minNs {
+			fmt.Fprintf(stdout, "  ~  %-55s %12.0f → %12.0f ns/op (below -min-ns, not gated)\n", name, base.ns, cur.ns)
 			continue
 		}
 		compared++
-		delta := cur/base - 1
+		delta := cur.ns/base.ns - 1
+		nsReg := delta > *threshold
+
+		// The allocs/op gate protects the zero-realloc engine work: a run
+		// that stays within the ns/op threshold by spending cycles elsewhere
+		// but reintroduces per-op heap traffic still fails.
+		allocInfo := ""
+		allocReg := false
+		if base.hasAllocs && cur.hasAllocs {
+			adelta := 0.0
+			if base.allocs > 0 {
+				adelta = cur.allocs/base.allocs - 1
+			} else if cur.allocs > 0 {
+				adelta = math.Inf(1)
+			}
+			gated := base.allocs >= *minAllocs
+			allocReg = gated && adelta > *threshold
+			allocInfo = fmt.Sprintf("   %8.0f → %8.0f allocs/op  %+6.1f%%", base.allocs, cur.allocs, 100*adelta)
+			if !gated {
+				allocInfo += " (below -min-allocs, not gated)"
+			}
+		}
+
 		mark := "ok "
-		if delta > *threshold {
+		if nsReg || allocReg {
 			mark = "REG"
 			regressed++
 		}
-		fmt.Fprintf(stdout, "  %s %-55s %12.0f → %12.0f ns/op  %+6.1f%%\n", mark, name, base, cur, 100*delta)
+		fmt.Fprintf(stdout, "  %s %-55s %12.0f → %12.0f ns/op  %+6.1f%%%s\n", mark, name, base.ns, cur.ns, 100*delta, allocInfo)
 	}
 	for name := range current {
 		if _, ok := baseline[name]; !ok {
@@ -204,7 +245,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if regressed > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d of %d gated benchmarks regressed >%.0f%% vs %s\n",
+		fmt.Fprintf(stderr, "benchdiff: %d of %d gated benchmarks regressed >%.0f%% (ns/op or allocs/op) vs %s\n",
 			regressed, compared, 100**threshold, *baselinePath)
 		return 1
 	}

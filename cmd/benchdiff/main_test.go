@@ -121,3 +121,105 @@ func TestNothingLeftToGate(t *testing.T) {
 		t.Fatalf("empty gate: code %d, stderr %q", code, stderr)
 	}
 }
+
+// benchEventAllocs fabricates an output event whose result line carries both
+// ns/op and allocs/op, as benchmarks with b.ReportAllocs emit.
+func benchEventAllocs(name string, ns, allocs float64) string {
+	return fmt.Sprintf(`{"Action":"output","Test":"%s","Output":"%s-8   \t       3\t  %.0f ns/op\t  1024 B/op\t  %.0f allocs/op\n"}`+"\n", name, name, ns, allocs)
+}
+
+func writeBenchAllocs(t *testing.T, dir, name string, benches map[string][2]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	for b, m := range benches {
+		sb.WriteString(benchEventAllocs(b, m[0], m[1]))
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAllocsGate is the table-driven coverage of the allocs/op gate: a bench
+// that holds its ns/op but regresses allocations beyond the threshold fails,
+// small baselines are exempt via -min-allocs, improvements and ns-only
+// results pass untouched.
+func TestAllocsGate(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, cur [2]float64 // {ns/op, allocs/op}
+		extraArgs []string
+		wantCode  int
+		wantInOut string
+		wantInErr string
+	}{
+		{
+			name: "allocs regression beyond threshold fails even with flat ns",
+			base: [2]float64{2e6, 3000}, cur: [2]float64{2e6, 4000},
+			wantCode: 1, wantInOut: "REG", wantInErr: "allocs/op",
+		},
+		{
+			name: "allocs within threshold passes",
+			base: [2]float64{2e6, 3000}, cur: [2]float64{2e6, 3500},
+			wantCode: 0, wantInOut: "allocs/op",
+		},
+		{
+			name: "allocs improvement passes",
+			base: [2]float64{2e6, 3000}, cur: [2]float64{1.8e6, 40},
+			wantCode: 0, wantInOut: "ok ",
+		},
+		{
+			name: "tiny baselines are exempt below -min-allocs",
+			base: [2]float64{2e6, 5}, cur: [2]float64{2e6, 9},
+			wantCode: 0, wantInOut: "below -min-allocs, not gated",
+		},
+		{
+			name: "-min-allocs 0 gates even tiny counts",
+			base: [2]float64{2e6, 5}, cur: [2]float64{2e6, 9},
+			extraArgs: []string{"-min-allocs", "0"},
+			wantCode:  1, wantInOut: "REG",
+		},
+		{
+			name: "zero-alloc baseline regressing to nonzero fails when gated",
+			base: [2]float64{2e6, 0}, cur: [2]float64{2e6, 7},
+			extraArgs: []string{"-min-allocs", "0"},
+			wantCode:  1, wantInOut: "REG",
+		},
+		{
+			name: "both metrics regressing reports one failing bench",
+			base: [2]float64{2e6, 3000}, cur: [2]float64{3e6, 9000},
+			wantCode: 1, wantInOut: "REG", wantInErr: "1 of 1 gated benchmarks regressed",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			baseline := writeBenchAllocs(t, dir, "BENCH_base.json", map[string][2]float64{"BenchmarkX": tc.base})
+			current := writeBenchAllocs(t, dir, "current.json", map[string][2]float64{"BenchmarkX": tc.cur})
+			args := append([]string{"-baseline", baseline, "-current", current}, tc.extraArgs...)
+			code, out, stderr := runDiff(t, args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, tc.wantCode, out, stderr)
+			}
+			if tc.wantInOut != "" && !strings.Contains(out, tc.wantInOut) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantInOut, out)
+			}
+			if tc.wantInErr != "" && !strings.Contains(stderr, tc.wantInErr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantInErr, stderr)
+			}
+		})
+	}
+}
+
+// TestMixedAllocReporting: an ns-only baseline entry against an
+// alloc-reporting current (or vice versa) gates ns/op only — the alloc gate
+// needs both sides.
+func TestMixedAllocReporting(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBench(t, dir, "BENCH_base.json", map[string]float64{"BenchmarkX": 2e6})
+	current := writeBenchAllocs(t, dir, "current.json", map[string][2]float64{"BenchmarkX": [2]float64{2e6, 9000}})
+	if code, out, _ := runDiff(t, "-baseline", baseline, "-current", current); code != 0 || strings.Contains(out, "allocs/op") {
+		t.Fatalf("ns-only baseline must not alloc-gate: code %d out %q", code, out)
+	}
+}

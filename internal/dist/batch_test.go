@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/statecache"
+)
+
+// TestBandedSweepBitIdentical is the transport × strategy × band-width
+// metamorphic sweep of the banded materialisation engine: every combination
+// must produce a Gram bit-identical to the serial row-at-a-time reference.
+// The shards cut their rows into bands (one fused GEMM dispatch per gate
+// position per band), which must never change a single bit of any state.
+func TestBandedSweepBitIdentical(t *testing.T) {
+	X := testData(t, 10, 6)
+	serial := testKernel(6)
+	serial.BatchBand = 1
+	ref, err := serial.Gram(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range testTransports() {
+		for _, strat := range []Strategy{RoundRobin, NoMessaging} {
+			for _, band := range []int{1, 3, 64} {
+				name := fmt.Sprintf("%s/%v/band%d", TransportName(tr), strat, band)
+				q := testKernel(6)
+				q.BatchBand = band
+				res, err := ComputeGram(q, X, Options{Procs: 3, Strategy: strat, Transport: tr})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i := range ref {
+					for j := range ref[i] {
+						if res.Gram[i][j] != ref[i][j] {
+							t.Fatalf("%s: entry (%d,%d) = %v, serial %v (must be bit-identical)",
+								name, i, j, res.Gram[i][j], ref[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBandedCrossBitIdentical: the banded cross-kernel (test and train rows
+// interleaved into shard-local bands) must match the serial cross exactly,
+// with and without a state cache.
+func TestBandedCrossBitIdentical(t *testing.T) {
+	Xtrain := testData(t, 8, 6)
+	Xtest := testData(t, 5, 6)
+	serial := testKernel(6)
+	serial.BatchBand = 1
+	ref, err := serial.Cross(Xtest, Xtrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range []int{1, 4, 64} {
+		for _, cached := range []bool{false, true} {
+			q := testKernel(6)
+			q.BatchBand = band
+			if cached {
+				q.Cache = statecache.New(256 << 20)
+			}
+			res, err := ComputeCross(q, Xtest, Xtrain, Options{Procs: 3, Strategy: RoundRobin})
+			if err != nil {
+				t.Fatalf("band=%d cached=%v: %v", band, cached, err)
+			}
+			for i := range ref {
+				for j := range ref[i] {
+					if res.Gram[i][j] != ref[i][j] {
+						t.Fatalf("band=%d cached=%v: entry (%d,%d) = %v, serial %v",
+							band, cached, i, j, res.Gram[i][j], ref[i][j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -51,46 +51,71 @@ func crossProcRR(q *kernel.Quantum, testX, trainX [][]float64, gram [][]float64,
 	sp.SetAttr("train_rows", len(ownedTrain))
 
 	// Phase 1: materialise both local shards (test rows, then train
-	// columns) in a single pool pass — one shard alone may be smaller than
-	// the worker count — behind the same barrier discipline as the
-	// training path.
+	// columns) as one concatenated banded sequence — one shard alone may be
+	// smaller than the band width, and the pool claims whole bands — behind
+	// the same barrier discipline as the training path. Each band is one
+	// batched cache lookup + one lockstep engine pass.
 	nt := len(ownedTest)
 	testStates := make([]*mps.MPS, nt)
 	trainStates := make([]*mps.MPS, len(ownedTrain))
-	hits := make([]bool, nt+len(ownedTrain))
+	total := nt + len(ownedTrain)
+	combined := make([][]float64, total)
+	for a := 0; a < nt; a++ {
+		combined[a] = testX[ownedTest[a]]
+	}
+	for b := range ownedTrain {
+		combined[nt+b] = trainX[ownedTrain[b]]
+	}
+	shardOf := func(a int) (label string, row int) {
+		if a < nt {
+			return "test", ownedTest[a]
+		}
+		return "train", ownedTrain[a-nt]
+	}
+	hits := make([]bool, total)
 	var simErr error
 	simSp := sp.Child("simulate")
 	st.SimTime = timed(func() {
-		simErr = pl.runErrSim(nt+len(ownedTrain), func(sw *mps.SimWorkspace, a int) error {
-			rowSp := simSp.Child("row")
-			if a < nt {
-				s, hit, err := q.StateCachedSpan(testX[ownedTest[a]], sw, rowSp)
-				rowSp.SetAttr("row", ownedTest[a])
-				rowSp.SetAttr("shard", "test")
-				if err != nil {
-					rowSp.End()
-					return simErrf(p, "test", ownedTest[a], err)
-				}
-				rowSp.SetAttr("hit", hit)
-				rowSp.SetAttr("chi", s.MaxBond())
-				rowSp.End()
-				testStates[a], hits[a] = s, hit
-				return nil
+		band := q.BandWidth()
+		if band < 1 {
+			band = 1
+		}
+		bands := (total + band - 1) / band
+		errsB := make([]error, bands)
+		pl.runSlot(bands, func(slot, bi int) {
+			lo := bi * band
+			hi := lo + band
+			if hi > total {
+				hi = total
 			}
-			b := a - nt
-			s, hit, err := q.StateCachedSpan(trainX[ownedTrain[b]], sw, rowSp)
-			rowSp.SetAttr("row", ownedTrain[b])
-			rowSp.SetAttr("shard", "train")
+			sts, bandHits, err := q.StateBand(combined[lo:hi], pl.batchWorkspace(slot), simSp)
 			if err != nil {
+				label, row := shardOf(lo)
+				errsB[bi] = simErrf(p, label, row, err)
+				rowSp := simSp.Child("row")
+				rowSp.SetAttr("row", row)
+				rowSp.SetAttr("shard", label)
+				rowSp.SetAttr("error", err.Error())
 				rowSp.End()
-				return simErrf(p, "train", ownedTrain[b], err)
+				return
 			}
-			rowSp.SetAttr("hit", hit)
-			rowSp.SetAttr("chi", s.MaxBond())
-			rowSp.End()
-			trainStates[b], hits[a] = s, hit
-			return nil
+			for a := lo; a < hi; a++ {
+				label, row := shardOf(a)
+				rowSp := simSp.Child("row")
+				rowSp.SetAttr("row", row)
+				rowSp.SetAttr("shard", label)
+				rowSp.SetAttr("hit", bandHits[a-lo])
+				rowSp.SetAttr("chi", sts[a-lo].MaxBond())
+				rowSp.End()
+				if a < nt {
+					testStates[a] = sts[a-lo]
+				} else {
+					trainStates[a-nt] = sts[a-lo]
+				}
+				hits[a] = bandHits[a-lo]
+			}
 		})
+		simErr = firstError(errsB)
 	})
 	simSp.End()
 	tallyHits(st, hits)

@@ -21,10 +21,11 @@ type pool struct {
 	// round-robin Gram makes one call per ring step; re-warming buffers
 	// each step would forfeit the zero-realloc property).
 	ws []*mps.Workspace
-	// sim holds one gate-engine workspace per worker slot, threaded through
-	// the shard materialisation loops so cache misses simulate through
-	// warmed zero-realloc buffers.
-	sim []*mps.SimWorkspace
+	// batch holds one banded-engine workspace per worker slot (each slot's
+	// per-row gate-engine workspaces live inside it), threaded through the
+	// shard-local band materialisation loops so cache misses simulate
+	// through warmed zero-realloc buffers.
+	batch []*mps.BatchSimWorkspace
 }
 
 // procPool sizes a process's worker pool: the k simulated processes share
@@ -40,7 +41,7 @@ func procPool(q *kernel.Quantum, k int) pool {
 	if w < 1 {
 		w = 1
 	}
-	return pool{workers: w, ws: make([]*mps.Workspace, w), sim: make([]*mps.SimWorkspace, w)}
+	return pool{workers: w, ws: make([]*mps.Workspace, w), batch: make([]*mps.BatchSimWorkspace, w)}
 }
 
 // workspace returns worker slot g's reusable workspace. runWS calls never
@@ -56,16 +57,16 @@ func (pl pool) workspace(g int) *mps.Workspace {
 	return pl.ws[g]
 }
 
-// simWorkspace returns worker slot g's reusable gate-engine workspace,
+// batchWorkspace returns worker slot g's reusable banded-engine workspace,
 // under the same single-goroutine-per-slot discipline as workspace.
-func (pl pool) simWorkspace(g int) *mps.SimWorkspace {
-	if pl.sim == nil {
-		return mps.NewSimWorkspace()
+func (pl pool) batchWorkspace(g int) *mps.BatchSimWorkspace {
+	if pl.batch == nil {
+		return mps.NewBatchSimWorkspace()
 	}
-	if pl.sim[g] == nil {
-		pl.sim[g] = mps.NewSimWorkspace()
+	if pl.batch[g] == nil {
+		pl.batch[g] = mps.NewBatchSimWorkspace()
 	}
-	return pl.sim[g]
+	return pl.batch[g]
 }
 
 // run invokes f(i) for every i in [0,n), spreading the calls over the pool's
@@ -128,47 +129,67 @@ func (pl pool) runErr(n int, f func(i int) error) error {
 	return firstError(errs)
 }
 
-// runErrSim is runErr with the worker's private simulation workspace handed
-// to each task — the materialisation loops' analogue of runWS.
-func (pl pool) runErrSim(n int, f func(sw *mps.SimWorkspace, i int) error) error {
-	errs := make([]error, n)
-	pl.runSlot(n, func(slot, i int) {
-		errs[i] = f(pl.simWorkspace(slot), i)
-	})
-	return firstError(errs)
-}
-
 // simulateOwned materialises the states for the owned global indices of X
-// through the cache-aware kernel path, writing them into dst (parallel to
-// owned) and recording per-process simulation/hit counts into st. costs
-// (parallel to owned; nil to skip) receives each state's measured
-// materialisation wall-clock — the per-row ground truth that calibrates
-// EstimateRowCost. sp (nil to skip) receives one child span per row carrying
-// the row index, cache outcome and resulting χ. Returns the first error by
-// owned position; label names the shard in errors.
+// through the cache-aware banded kernel path: the shard is cut into bands of
+// q.BandWidth() rows, pool workers claim whole bands, and each band resolves
+// through one batched cache lookup + one lockstep engine pass (one fused
+// GEMM dispatch per gate position for the band). Results land in dst
+// (parallel to owned) with per-process simulation/hit counts recorded into
+// st. costs (parallel to owned; nil to skip) receives each row's share of
+// its band's measured wall-clock — always positive, the per-row ground truth
+// that calibrates EstimateRowCost. sp (nil to skip) receives one child span
+// per row carrying the row index, cache outcome and resulting χ. Returns the
+// first error by band; label names the shard in errors.
 func simulateOwned(q *kernel.Quantum, X [][]float64, owned []int, dst []*mps.MPS, pl pool, st *ProcStats, label string, costs []time.Duration, sp *obs.Span) error {
-	hits := make([]bool, len(owned))
-	err := pl.runErrSim(len(owned), func(sw *mps.SimWorkspace, a int) error {
-		rowSp := sp.Child("row")
-		t0 := time.Now()
-		s, hit, err := q.StateCachedSpan(X[owned[a]], sw, rowSp)
-		if costs != nil {
-			costs[a] = time.Since(t0)
+	n := len(owned)
+	if n == 0 {
+		return nil
+	}
+	band := q.BandWidth()
+	if band < 1 {
+		band = 1
+	}
+	bands := (n + band - 1) / band
+	hits := make([]bool, n)
+	errs := make([]error, bands)
+	pl.runSlot(bands, func(slot, bi int) {
+		lo := bi * band
+		hi := lo + band
+		if hi > n {
+			hi = n
 		}
-		rowSp.SetAttr("row", owned[a])
+		rows := make([][]float64, hi-lo)
+		for a := lo; a < hi; a++ {
+			rows[a-lo] = X[owned[a]]
+		}
+		t0 := time.Now()
+		sts, bandHits, err := q.StateBand(rows, pl.batchWorkspace(slot), sp)
+		perRow := time.Since(t0) / time.Duration(hi-lo)
+		if perRow <= 0 {
+			perRow = time.Nanosecond
+		}
 		if err != nil {
+			errs[bi] = simErrf(st.Rank, label, owned[lo], err)
+			rowSp := sp.Child("row")
+			rowSp.SetAttr("row", owned[lo])
 			rowSp.SetAttr("error", err.Error())
 			rowSp.End()
-			return simErrf(st.Rank, label, owned[a], err)
+			return
 		}
-		rowSp.SetAttr("hit", hit)
-		rowSp.SetAttr("chi", s.MaxBond())
-		rowSp.End()
-		dst[a], hits[a] = s, hit
-		return nil
+		for a := lo; a < hi; a++ {
+			dst[a], hits[a] = sts[a-lo], bandHits[a-lo]
+			if costs != nil {
+				costs[a] = perRow
+			}
+			rowSp := sp.Child("row")
+			rowSp.SetAttr("row", owned[a])
+			rowSp.SetAttr("hit", bandHits[a-lo])
+			rowSp.SetAttr("chi", sts[a-lo].MaxBond())
+			rowSp.End()
+		}
 	})
 	tallyHits(st, hits)
-	return err
+	return firstError(errs)
 }
 
 // tallyHits folds a per-state hit/miss bitmap into the process counters:

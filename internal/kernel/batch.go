@@ -1,0 +1,176 @@
+package kernel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/circuit"
+	"repro/internal/mps"
+	"repro/internal/obs"
+	"repro/internal/statecache"
+)
+
+// batchBand resolves the banded materialisation width: an explicit
+// Quantum.BatchBand wins; 0 selects automatically from the core count (wide
+// enough bands to amortise per-band dispatch across every worker) capped by
+// the state-cache budget, so one band's worth of freshly simulated states
+// (≈1 MiB per mid-χ state) never thrashes the LRU it is about to fill.
+func (q *Quantum) batchBand() int {
+	if q.BatchBand > 0 {
+		return q.BatchBand
+	}
+	b := 4 * runtime.GOMAXPROCS(0)
+	if b < 8 {
+		b = 8
+	}
+	if b > 64 {
+		b = 64
+	}
+	if q.Cache != nil {
+		if budgetCap := int(q.Cache.Stats().Budget / (1 << 20)); budgetCap > 0 && b > budgetCap {
+			b = budgetCap
+		}
+		if b < 1 {
+			b = 1
+		}
+	}
+	return b
+}
+
+// simulateBanded materialises one band of rows through the shared circuit
+// structure in lockstep: every row's feature-map circuit is built, then
+// mps.ApplyCircuitsBanded stacks the per-gate theta contractions of the
+// whole band into fused MatMulBatchInto dispatches. Each returned state is
+// bit-identical to what simulate would produce for its row.
+func (q *Quantum) simulateBanded(rows [][]float64, bw *mps.BatchSimWorkspace) ([]*mps.MPS, error) {
+	circs := make([]*circuit.Circuit, len(rows))
+	states := make([]*mps.MPS, len(rows))
+	for i, x := range rows {
+		c, err := q.Ansatz.BuildRouted(x)
+		if err != nil {
+			return nil, err
+		}
+		circs[i] = c
+		states[i] = mps.NewZeroState(q.Ansatz.Qubits, q.Config)
+	}
+	if err := mps.ApplyCircuitsBanded(states, circs, bw); err != nil {
+		return nil, err
+	}
+	for _, st := range states {
+		st.DetachWorkspace()
+		st.CompactSites()
+	}
+	return states, nil
+}
+
+// BandWidth returns the resolved banded materialisation width: BatchBand
+// when set, otherwise the automatic core-count/cache-budget choice. The dist
+// strategies use it to cut their shards into bands.
+func (q *Quantum) BandWidth() int { return q.batchBand() }
+
+// StateBand materialises one band of rows through the banded engine and the
+// cache's batched singleflight, returning the states (parallel to rows) and
+// per-row hit flags (true when that row's simulation was avoided — resident,
+// joined in-flight, or a within-band duplicate). Each state is bit-identical
+// to the row-at-a-time State path.
+func (q *Quantum) StateBand(rows [][]float64, bw *mps.BatchSimWorkspace, sp *obs.Span) ([]*mps.MPS, []bool, error) {
+	hits := make([]bool, len(rows))
+	if q.Cache == nil {
+		sts, err := q.simulateBanded(rows, bw)
+		return sts, hits, err
+	}
+	fp := q.Fingerprint()
+	keys := make([]statecache.Key, len(rows))
+	for i, x := range rows {
+		keys[i] = statecache.KeyFor(fp, x)
+	}
+	for i := range hits {
+		hits[i] = true
+	}
+	sts, _, err := q.Cache.GetOrComputeBatch(keys, sp, func(miss []int) ([]*mps.MPS, error) {
+		mrows := make([][]float64, len(miss))
+		for j, mi := range miss {
+			mrows[j] = rows[mi]
+			hits[mi] = false
+		}
+		return q.simulateBanded(mrows, bw)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sts, hits, nil
+}
+
+// StatesBatched simulates every row of X in bands of batchBand rows: workers
+// claim whole bands through an atomic cursor, and each band is materialised
+// through one banded engine pass (one fused GEMM dispatch per gate position
+// for the whole band, rather than χ-sized matmuls per row). With a cache
+// configured, each band resolves through one GetOrComputeBatch — residency,
+// in-flight joins, and within-band duplicates are all detected under a
+// single lock acquisition, and only the true misses are simulated, together,
+// as one band. Results are bit-identical to the row-at-a-time States path.
+func (q *Quantum) StatesBatched(X [][]float64) ([]*mps.MPS, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, nil
+	}
+	band := q.batchBand()
+	if band < 1 {
+		band = 1
+	}
+	states := make([]*mps.MPS, n)
+	bands := (n + band - 1) / band
+	errs := make([]error, bands)
+
+	fill := func(bw *mps.BatchSimWorkspace, bi int) {
+		lo := bi * band
+		hi := lo + band
+		if hi > n {
+			hi = n
+		}
+		sts, _, err := q.StateBand(X[lo:hi], bw, nil)
+		if err != nil {
+			errs[bi] = err
+			return
+		}
+		copy(states[lo:hi], sts)
+	}
+
+	w := q.workers()
+	if w > bands {
+		w = bands
+	}
+	if w <= 1 {
+		bw := mps.NewBatchSimWorkspace()
+		for bi := 0; bi < bands; bi++ {
+			fill(bw, bi)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bw := mps.NewBatchSimWorkspace()
+				for {
+					bi := int(next.Add(1))
+					if bi >= bands {
+						return
+					}
+					fill(bw, bi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for bi, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("kernel: band %d (rows %d..%d): %w", bi, bi*band, min(bi*band+band, n)-1, err)
+		}
+	}
+	return states, nil
+}

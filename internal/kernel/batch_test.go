@@ -1,0 +1,203 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mps"
+	"repro/internal/statecache"
+)
+
+// requireStatesBitIdentical fails unless the two states hold exactly the
+// same tensors: the batched engine's contract is bit-identity with the
+// serial path, not closeness.
+func requireStatesBitIdentical(t *testing.T, label string, got, want *mps.MPS) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: qubit counts %d vs %d", label, got.N, want.N)
+	}
+	for s := 0; s < got.N; s++ {
+		gs, ws := got.Sites[s], want.Sites[s]
+		if gs.Size() != ws.Size() {
+			t.Fatalf("%s: site %d size %d vs %d", label, s, gs.Size(), ws.Size())
+		}
+		for d := range gs.Shape {
+			if gs.Shape[d] != ws.Shape[d] {
+				t.Fatalf("%s: site %d shape %v vs %v", label, s, gs.Shape, ws.Shape)
+			}
+		}
+		for i := range gs.Data {
+			if gs.Data[i] != ws.Data[i] {
+				t.Fatalf("%s: site %d entry %d: %v vs %v", label, s, i, gs.Data[i], ws.Data[i])
+			}
+		}
+	}
+}
+
+// TestStatesBatchedBitIdenticalAcrossBandSizes is the kernel-level
+// metamorphic relation of the tentpole: StatesBatched must return states
+// bit-identical to the row-at-a-time State path at every band width — 1
+// (banding disabled), 3 (several bands), and a band wider than the row count
+// (one band for everything).
+func TestStatesBatchedBitIdenticalAcrossBandSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	X := testData(rng, 7, 5)
+	ref := defaultQuantum(5)
+	want := make([]*mps.MPS, len(X))
+	for i, x := range X {
+		st, err := ref.State(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = st
+	}
+	for _, band := range []int{1, 3, 100} {
+		for _, workers := range []int{1, 3} {
+			t.Run(fmt.Sprintf("band%d_workers%d", band, workers), func(t *testing.T) {
+				q := defaultQuantum(5)
+				q.BatchBand = band
+				q.Workers = workers
+				got, err := q.StatesBatched(X)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					requireStatesBitIdentical(t, fmt.Sprintf("row %d", i), got[i], want[i])
+				}
+			})
+		}
+	}
+}
+
+// TestStatesBatchedRandomizedShapes fuzzes the circuit structure (qubits,
+// layers, interaction distance, bandwidth) per the Ba et al. metamorphic
+// framing: the batched/serial relation must hold for every ansatz shape, not
+// just the defaults.
+func TestStatesBatchedRandomizedShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 6; trial++ {
+		m := 3 + rng.Intn(5)
+		q := &Quantum{
+			Ansatz: circuit.Ansatz{
+				Qubits:   m,
+				Layers:   1 + rng.Intn(3),
+				Distance: 1 + rng.Intn(2),
+				Gamma:    0.2 + 1.5*rng.Float64(),
+			},
+			BatchBand: 1 + rng.Intn(5),
+		}
+		X := testData(rng, 2+rng.Intn(6), m)
+		got, err := q.StatesBatched(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refQ := &Quantum{Ansatz: q.Ansatz}
+		for i, x := range X {
+			want, err := refQ.State(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireStatesBitIdentical(t, fmt.Sprintf("trial %d row %d", trial, i), got[i], want)
+		}
+	}
+}
+
+// TestGramCrossBatchedEqualSerial: the Gram/Cross matrices computed through
+// the banded engine must equal (exactly — same states, same overlap
+// contraction) the matrices built from serially simulated states.
+func TestGramCrossBatchedEqualSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	Xtrain := testData(rng, 6, 4)
+	Xtest := testData(rng, 3, 4)
+
+	serial := defaultQuantum(4)
+	serial.BatchBand = 1
+	wantGram, err := serial.Gram(Xtrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCross, err := serial.Cross(Xtest, Xtrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched := defaultQuantum(4)
+	batched.BatchBand = 4
+	gotGram, err := batched.Gram(Xtrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCross, err := batched.Cross(Xtest, Xtrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantGram {
+		for j := range wantGram[i] {
+			if gotGram[i][j] != wantGram[i][j] {
+				t.Fatalf("gram (%d,%d): batched %v, serial %v", i, j, gotGram[i][j], wantGram[i][j])
+			}
+		}
+	}
+	for i := range wantCross {
+		for j := range wantCross[i] {
+			if gotCross[i][j] != wantCross[i][j] {
+				t.Fatalf("cross (%d,%d): batched %v, serial %v", i, j, gotCross[i][j], wantCross[i][j])
+			}
+		}
+	}
+}
+
+// TestStateBandCacheSemantics: duplicates inside a band, resident entries and
+// true misses must resolve through one GetOrComputeBatch with the same
+// counter semantics as a serial lookup loop, and every returned state must be
+// bit-identical to the serial path.
+func TestStateBandCacheSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	base := testData(rng, 4, 4)
+	// Band: [a, b, a, c, c] — a resident after warmup, b fresh, c duplicated.
+	q := defaultQuantum(4)
+	q.Cache = statecache.New(64 << 20)
+	if _, _, err := q.StateBand(base[:1], mps.NewBatchSimWorkspace(), nil); err != nil {
+		t.Fatal(err)
+	}
+	s0 := q.Cache.Stats()
+	band := [][]float64{base[0], base[1], base[0], base[2], base[2]}
+	sts, hits, err := q.StateBand(band, mps.NewBatchSimWorkspace(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := []bool{true, false, true, false, true}
+	for i := range hits {
+		if hits[i] != wantHits[i] {
+			t.Fatalf("hit flags %v, want %v", hits, wantHits)
+		}
+	}
+	if sts[0] != sts[2] || sts[3] != sts[4] {
+		t.Fatal("duplicate rows must share one state")
+	}
+	s1 := q.Cache.Stats()
+	if dh, dm := s1.Hits-s0.Hits, s1.Misses-s0.Misses; dh != 3 || dm != 2 {
+		t.Fatalf("counter deltas hits=%d misses=%d, want 3 and 2", dh, dm)
+	}
+	ref := defaultQuantum(4)
+	for i, x := range band {
+		want, err := ref.State(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireStatesBitIdentical(t, fmt.Sprintf("row %d", i), sts[i], want)
+	}
+}
+
+// TestStatesBatchedErrorNamesBand: a failing row must surface a banded error
+// that names the band and row range rather than hanging or panicking.
+func TestStatesBatchedErrorNamesBand(t *testing.T) {
+	q := defaultQuantum(4)
+	q.BatchBand = 2
+	X := [][]float64{{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1}} // row 2 has the wrong width
+	if _, err := q.StatesBatched(X); err == nil {
+		t.Fatal("wrong-width row must error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/mps"
+	"repro/internal/statecache"
 )
 
 // GramExtender maintains a growing quantum-kernel Gram matrix: the MPS of
@@ -14,8 +15,25 @@ import (
 // instead of recomputing the O(N²) matrix. This supports online workflows —
 // scoring a stream of new transactions against a trained model, or growing
 // a training set incrementally.
+//
+// The extender owns a pooled simulation workspace and a pooled overlap
+// workspace, so the steady-state cost of Add/KernelRow is the simulation and
+// the overlaps themselves — no per-call gate-engine or contraction buffers.
+// It also memoises the kernel fingerprint at construction (the extender's
+// stored states are only meaningful while the kernel configuration is
+// frozen, so the caching contract is unchanged).
 type GramExtender struct {
-	q      *Quantum
+	q  *Quantum
+	fp string
+
+	// wsMu guards the parked workspace pair. Concurrent calls that find the
+	// slot empty allocate a transient pair; the last finisher parks its pair
+	// for the next call, so a serial caller reaches zero steady-state
+	// workspace allocations.
+	wsMu sync.Mutex
+	sw   *mps.SimWorkspace
+	ow   *mps.Workspace
+
 	mu     sync.Mutex
 	states []*mps.MPS
 	gram   [][]float64
@@ -23,7 +41,43 @@ type GramExtender struct {
 
 // NewGramExtender starts an empty extender for the given kernel.
 func NewGramExtender(q *Quantum) *GramExtender {
-	return &GramExtender{q: q}
+	return &GramExtender{q: q, fp: q.Fingerprint()}
+}
+
+// acquire takes the parked workspace pair (allocating fresh ones only when
+// another call holds them); release parks a pair for the next caller.
+func (e *GramExtender) acquire() (*mps.SimWorkspace, *mps.Workspace) {
+	e.wsMu.Lock()
+	sw, ow := e.sw, e.ow
+	e.sw, e.ow = nil, nil
+	e.wsMu.Unlock()
+	if sw == nil {
+		sw = mps.NewSimWorkspace()
+	}
+	if ow == nil {
+		ow = mps.NewWorkspace()
+	}
+	return sw, ow
+}
+
+func (e *GramExtender) release(sw *mps.SimWorkspace, ow *mps.Workspace) {
+	e.wsMu.Lock()
+	e.sw, e.ow = sw, ow
+	e.wsMu.Unlock()
+}
+
+// stateFor resolves the state for x through the kernel: a resident cache
+// entry is returned allocation-free via the counter-neutral Probe, and
+// anything else takes the full cached-simulation path (singleflight dedup,
+// retention) threading the pooled gate-engine workspace through the miss.
+func (e *GramExtender) stateFor(x []float64, sw *mps.SimWorkspace) (*mps.MPS, error) {
+	if c := e.q.Cache; c != nil {
+		if st, ok := c.Probe(statecache.KeyFor(e.fp, x)); ok {
+			return st, nil
+		}
+	}
+	st, _, err := e.q.StateCachedWS(x, sw)
+	return st, err
 }
 
 // Len returns the number of points incorporated so far.
@@ -36,8 +90,10 @@ func (e *GramExtender) Len() int {
 // Add simulates x, extends the Gram matrix with its overlaps against every
 // stored state, and returns the new point's index.
 func (e *GramExtender) Add(x []float64) (int, error) {
-	st, err := e.q.State(x)
+	sw, ow := e.acquire()
+	st, err := e.stateFor(x, sw)
 	if err != nil {
+		e.release(sw, ow)
 		return 0, fmt.Errorf("kernel: extending gram: %w", err)
 	}
 	// Compute the new row outside the lock (the expensive part).
@@ -46,17 +102,16 @@ func (e *GramExtender) Add(x []float64) (int, error) {
 	e.mu.Unlock()
 	row := make([]float64, len(snapshot)+1)
 	for j, s := range snapshot {
-		row[j] = mps.Overlap(st, s)
+		row[j] = ow.Overlap(st, s)
 	}
 	row[len(snapshot)] = 1
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if len(e.states) != len(snapshot) {
 		// Another Add raced in; compute the missing overlaps under the lock
 		// (rare path, keeps correctness simple).
 		for j := len(snapshot); j < len(e.states); j++ {
-			row = append(row[:len(row)-1], mps.Overlap(st, e.states[j]), 1)
+			row = append(row[:len(row)-1], ow.Overlap(st, e.states[j]), 1)
 		}
 	}
 	idx := len(e.states)
@@ -65,6 +120,8 @@ func (e *GramExtender) Add(x []float64) (int, error) {
 		e.gram[i] = append(e.gram[i], row[i])
 	}
 	e.gram = append(e.gram, row)
+	e.mu.Unlock()
+	e.release(sw, ow)
 	return idx, nil
 }
 
@@ -82,18 +139,31 @@ func (e *GramExtender) Gram() [][]float64 {
 // KernelRow computes the kernel row of an out-of-sample point against all
 // stored states — the inference primitive (one simulation + N overlaps).
 func (e *GramExtender) KernelRow(x []float64) ([]float64, error) {
-	st, err := e.q.State(x)
+	return e.KernelRowInto(x, nil)
+}
+
+// KernelRowInto is KernelRow writing into dst (grown only when too small):
+// with a warm state cache and an adequately sized dst the call performs zero
+// heap allocations — the repeated-scoring hot path a serving loop hits.
+func (e *GramExtender) KernelRowInto(x []float64, dst []float64) ([]float64, error) {
+	sw, ow := e.acquire()
+	st, err := e.stateFor(x, sw)
 	if err != nil {
+		e.release(sw, ow)
 		return nil, fmt.Errorf("kernel: inference row: %w", err)
 	}
 	e.mu.Lock()
 	states := e.states
 	e.mu.Unlock()
-	row := make([]float64, len(states))
-	for j, s := range states {
-		row[j] = mps.Overlap(st, s)
+	if cap(dst) < len(states) {
+		dst = make([]float64, len(states))
 	}
-	return row, nil
+	dst = dst[:len(states)]
+	for j, s := range states {
+		dst[j] = ow.Overlap(st, s)
+	}
+	e.release(sw, ow)
+	return dst, nil
 }
 
 // MemoryBytes reports the total MPS storage held — the quantity the paper

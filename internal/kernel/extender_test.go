@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/statecache"
 )
 
 func TestGramExtenderMatchesBatch(t *testing.T) {
@@ -104,5 +106,90 @@ func TestGramExtenderPropagatesErrors(t *testing.T) {
 	}
 	if _, err := e.KernelRow([]float64{1}); err == nil {
 		t.Fatal("wrong width must error")
+	}
+}
+
+// TestGramExtenderKernelRowZeroAllocSteadyState is the satellite acceptance
+// assertion: with the per-extender pooled workspaces, a warm state cache and
+// a caller-owned destination row, repeated scoring performs zero heap
+// allocations — simulation avoided via the counter-neutral cache probe,
+// overlaps through the pooled contraction workspace.
+func TestGramExtenderKernelRowZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := defaultQuantum(4)
+	q.Cache = statecache.New(64 << 20)
+	X := testData(rng, 6, 4)
+	e := NewGramExtender(q)
+	for _, x := range X {
+		if _, err := e.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := X[2] // resident: Add simulated it through the cache
+	dst, err := e.KernelRowInto(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if dst, err = e.KernelRowInto(x, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state KernelRowInto performed %v allocations, want 0", allocs)
+	}
+	// The pooled path must still produce the exact row.
+	want, err := q.Cross([][]float64{x}, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range dst {
+		if math.Abs(dst[j]-want[0][j]) > 1e-12 {
+			t.Fatalf("row[%d] = %v, want %v", j, dst[j], want[0][j])
+		}
+	}
+}
+
+// BenchmarkGramExtenderAdd measures the online-ingest path (one simulation
+// plus N overlaps) with the pooled workspaces; allocs/op should stay at the
+// inherent retained-row footprint (the state, the gram row) and not grow
+// with gate-engine buffers.
+func BenchmarkGramExtenderAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	q := defaultQuantum(6)
+	X := testData(rng, 256, 6)
+	e := NewGramExtender(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Add(X[i%len(X)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGramExtenderKernelRow is the steady-state scoring hot path: warm
+// cache, reused destination — expect 0 allocs/op.
+func BenchmarkGramExtenderKernelRow(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	q := defaultQuantum(6)
+	q.Cache = statecache.New(64 << 20)
+	X := testData(rng, 32, 6)
+	e := NewGramExtender(q)
+	for _, x := range X {
+		if _, err := e.Add(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst, err := e.KernelRowInto(X[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = e.KernelRowInto(X[i%len(X)], dst); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -34,6 +34,13 @@ type Quantum struct {
 	// Workers bounds simulation/inner-product concurrency; ≤0 selects
 	// GOMAXPROCS.
 	Workers int
+	// BatchBand is the banded materialisation width: States (and everything
+	// built on it) simulates rows in lockstep bands of this many circuits,
+	// fusing each gate position's theta contractions into one batched GEMM
+	// dispatch. 0 selects automatically from the core count and the cache
+	// budget (see batchBand); 1 degenerates to row-at-a-time simulation.
+	// Results are bit-identical at every width.
+	BatchBand int
 	// Cache, when non-nil, memoises simulated states across State/States/
 	// Gram/Cross calls (and across the distributed strategies in
 	// internal/dist). Keys fingerprint the ansatz, the simulator
@@ -136,48 +143,14 @@ func (q *Quantum) StateCachedSpan(x []float64, sw *mps.SimWorkspace, sp *obs.Spa
 	return q.Cache.GetOrComputeTraced(key, sp, func() (*mps.MPS, error) { return q.simulate(x, sw) })
 }
 
-// States simulates every row of X on a bounded worker pool — the
-// linear-cost stage of the framework. Exactly min(workers, len(X))
-// goroutines are launched and claim rows through an atomic cursor, so a
-// 100k-row dataset costs 100k simulations but only a handful of goroutines.
+// States simulates every row of X — the linear-cost stage of the framework.
+// It runs the banded engine (StatesBatched): workers claim whole bands of
+// rows through an atomic cursor and each band is materialised in lockstep
+// with one fused GEMM dispatch per gate position. A 100k-row dataset still
+// costs 100k simulations but only a handful of goroutines — and far fewer
+// backend dispatches.
 func (q *Quantum) States(X [][]float64) ([]*mps.MPS, error) {
-	states := make([]*mps.MPS, len(X))
-	errs := make([]error, len(X))
-	w := q.workers()
-	if w > len(X) {
-		w = len(X)
-	}
-	if w <= 1 {
-		sw := mps.NewSimWorkspace()
-		for i := range X {
-			states[i], _, errs[i] = q.StateCachedWS(X[i], sw)
-		}
-	} else {
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for g := 0; g < w; g++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sw := mps.NewSimWorkspace()
-				for {
-					i := int(next.Add(1))
-					if i >= len(X) {
-						return
-					}
-					states[i], _, errs[i] = q.StateCachedWS(X[i], sw)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("kernel: state %d: %w", i, err)
-		}
-	}
-	return states, nil
+	return q.StatesBatched(X)
 }
 
 // Gram computes the full symmetric Gram matrix for X: simulate each state

@@ -76,15 +76,61 @@ func mulRowsParallel(a, b, c *Matrix, workers int) {
 	wg.Wait()
 }
 
+// tileBytes is the footprint budget of the operand panel a blocked kernel
+// keeps hot: once the streamed operand (b for the row kernel, the dst slab
+// for the adjoint kernel) exceeds it, the contraction is tiled so each panel
+// stays cache-resident across the rows that reuse it. ~128 KiB targets half
+// of a typical per-core L2 so the stationary operand and the streamed rows
+// coexist.
+const tileBytes = 1 << 17
+
 // mulRows computes rows [lo, hi) of c = a·b with an ikj loop order so the
-// innermost loop streams contiguously through b and c.
+// innermost loop streams contiguously through b and c. When b exceeds the
+// tile budget and more than one output row amortises a pass, the contraction
+// index is blocked so each panel of b stays cache-resident across the whole
+// row range (see mulRowsTiled — the accumulation order per entry is
+// unchanged, so the tiled path is bit-identical).
 func mulRows(a, b, c *Matrix, lo, hi int) {
+	n := b.Cols
+	k := a.Cols
+	if hi-lo > 1 && 16*k*n > tileBytes {
+		mulRowsTiled(a, b, c, lo, hi)
+		return
+	}
+	mulRowsBlock(a, b, c, lo, hi, 0, k)
+}
+
+// mulRowsTiled is the cache-blocked row kernel: the contraction index is cut
+// into panels of pt rows of b (sized to the tile budget), and each panel is
+// applied to every output row before the next panel streams in. For a fixed
+// output entry the contraction still accumulates in ascending index order —
+// panels ascend and the index ascends within each panel — so the result is
+// bit-for-bit identical to the untiled kernel.
+func mulRowsTiled(a, b, c *Matrix, lo, hi int) {
+	n := b.Cols
+	k := a.Cols
+	pt := tileBytes / (16 * n)
+	if pt < 16 {
+		pt = 16
+	}
+	for p0 := 0; p0 < k; p0 += pt {
+		p1 := p0 + pt
+		if p1 > k {
+			p1 = k
+		}
+		mulRowsBlock(a, b, c, lo, hi, p0, p1)
+	}
+}
+
+// mulRowsBlock accumulates the contraction slice [pLo, pHi) of c = a·b into
+// rows [lo, hi) of c.
+func mulRowsBlock(a, b, c *Matrix, lo, hi, pLo, pHi int) {
 	n := b.Cols
 	k := a.Cols
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
+		for p := pLo; p < pHi; p++ {
 			av := arow[p]
 			if av == 0 {
 				continue
@@ -153,16 +199,42 @@ func MatMulIntoParallel(dst, a, b *Matrix, workers int) *Matrix {
 // The kernel walks a and b row by row and accumulates rank-1 updates into
 // dst, so for every dst entry the sum over the contraction index runs in
 // ascending order — bit-for-bit equal to MatMulSerial(a.ConjTranspose(), b).
+// When dst outgrows the tile budget, its rows are blocked so each slab stays
+// cache-resident across the full contraction sweep (the per-entry
+// accumulation order is unchanged, so the tiled path is bit-identical).
 func MatMulAdjAInto(dst, a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("linalg: MatMulAdjA contraction mismatch %d×%d ᴴ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	m, n := a.Cols, b.Cols
 	dst.Reuse(m, n)
+	if a.Rows > 1 && 16*m*n > tileBytes {
+		it := tileBytes / (16 * n)
+		if it < 16 {
+			it = 16
+		}
+		for i0 := 0; i0 < m; i0 += it {
+			i1 := i0 + it
+			if i1 > m {
+				i1 = m
+			}
+			adjARowsBlock(dst, a, b, i0, i1)
+		}
+		return dst
+	}
+	adjARowsBlock(dst, a, b, 0, m)
+	return dst
+}
+
+// adjARowsBlock accumulates rows [iLo, iHi) of dst = aᴴ·b over the full
+// contraction range.
+func adjARowsBlock(dst, a, b *Matrix, iLo, iHi int) {
+	m, n := a.Cols, b.Cols
 	for p := 0; p < a.Rows; p++ {
 		arow := a.Data[p*m : (p+1)*m]
 		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
+		for i := iLo; i < iHi; i++ {
+			av := arow[i]
 			cv := complex(real(av), -imag(av))
 			if cv == 0 {
 				continue
@@ -173,7 +245,6 @@ func MatMulAdjAInto(dst, a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return dst
 }
 
 // MatVec returns a·x for a column vector x (len == a.Cols).

@@ -1,0 +1,55 @@
+package linalg
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MatMulOp is one dst = a·b product of a batched band contraction; Dst is
+// reshaped via Reuse and must not alias A or B.
+type MatMulOp struct {
+	Dst, A, B *Matrix
+}
+
+// MatMulBatchInto materialises a band of independent matrix products in one
+// fused call — the banded gate engine stacks the per-row theta merges of a
+// shared circuit position here, replacing B small dispatches with a single
+// one. Each product is produced by the serial row kernel, so every Dst is
+// bit-identical to MatMulInto(Dst, A, B). Shapes may differ across ops:
+// truncation lets per-row bond dimensions diverge even when the band shares
+// one circuit structure.
+func MatMulBatchInto(ops []MatMulOp) {
+	for _, op := range ops {
+		MatMulInto(op.Dst, op.A, op.B)
+	}
+}
+
+// MatMulBatchIntoWorkers distributes whole ops of the band over up to
+// workers goroutines via an atomic cursor (each op still runs the serial
+// kernel, so results are bit-identical to MatMulBatchInto for any worker
+// count and any scheduling order).
+func MatMulBatchIntoWorkers(ops []MatMulOp, workers int) {
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers <= 1 {
+		MatMulBatchInto(ops)
+		return
+	}
+	var cur atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cur.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				MatMulInto(ops[i].Dst, ops[i].A, ops[i].B)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -39,18 +39,32 @@ func qrHouseholder(a *Matrix, workers int) (q, r *Matrix) {
 // column updates are distributed over goroutines.
 const qrParallelThreshold = 1 << 14
 
-// applyHouseholder routes to the serial or column-parallel reflector.
+// applyHouseholder applies the reflector across every column, routing to the
+// serial or column-parallel path.
 func applyHouseholder(m *Matrix, v []complex128, beta float64, pivot, workers int) {
-	if workers <= 1 || (m.Rows-pivot)*m.Cols < qrParallelThreshold {
-		applyHouseholderLeft(m, v, beta, pivot)
+	applyHouseholderRange(m, v, beta, pivot, 0, m.Cols, workers)
+}
+
+// applyHouseholderRange applies (I − β v v†) to rows [pivot, Rows) of columns
+// [colLo, colHi), distributing column chunks over up to workers goroutines
+// when the slab is large enough to amortise the synchronisation. Disjoint
+// column ranges are independent, so results are bit-identical to the serial
+// path for any worker count.
+func applyHouseholderRange(m *Matrix, v []complex128, beta float64, pivot, colLo, colHi, workers int) {
+	ncols := colHi - colLo
+	if ncols <= 0 {
+		return
+	}
+	if workers <= 1 || (m.Rows-pivot)*ncols < qrParallelThreshold {
+		applyHouseholderCols(m, v, beta, pivot, colLo, colHi)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (m.Cols + workers - 1) / workers
+	chunk := (ncols + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > m.Cols {
-			hi = m.Cols
+		lo, hi := colLo+w*chunk, colLo+(w+1)*chunk
+		if hi > colHi {
+			hi = colHi
 		}
 		if lo >= hi {
 			break
@@ -62,14 +76,6 @@ func applyHouseholder(m *Matrix, v []complex128, beta float64, pivot, workers in
 		}(lo, hi)
 	}
 	wg.Wait()
-}
-
-// applyHouseholderLeft applies (I − β v v†) to rows [pivot, Rows) of m,
-// touching columns [pivot, Cols) only when the caller guarantees zeros to the
-// left (true for the R build); for the Q build we touch all columns ≥ 0, so we
-// conservatively start at column 0.
-func applyHouseholderLeft(m *Matrix, v []complex128, beta float64, pivot int) {
-	applyHouseholderCols(m, v, beta, pivot, 0, m.Cols)
 }
 
 // applyHouseholderCols applies the reflector to columns [colLo, colHi) only;

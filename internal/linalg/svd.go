@@ -342,64 +342,19 @@ func svdTruncTall(ws *Workspace, a *Matrix, workers int) SVDResult {
 // G = A†A for V and σ, then recover an exactly-orthonormal U from a thin QR
 // of B = A·V (B's columns are orthogonal with norms σ by construction, so R
 // is diagonal up to the eigensolve tolerance; the diagonal phases transfer
-// onto Q's columns).
+// onto Q's columns). The singular values are read off R's diagonal rather
+// than as √λ: the Gram eigenvalues carry only ~√ε·σ_max absolute accuracy
+// (squaring loses the bottom half of the spectrum), which would inflate the
+// trailing values to noise the MPS truncation budget can no longer discard —
+// whereas R's diagonal is computed from A's columns directly and recovers
+// ~ε·σ_max absolute accuracy, keeping the discarded-weight arithmetic at
+// full precision. Implemented as the two-phase path run eagerly at full
+// rank; SVDTruncLazy exposes the phases separately to the gate engine.
 func gramSVD(ws *Workspace, a *Matrix, workers int) SVDResult {
-	m, n := a.Rows, a.Cols
-	adjAIntoWorkers(&ws.gram, a, a, workers)
-	g := &ws.gram
-	// Symmetrise exactly: A†A is Hermitian up to round-off, and the Jacobi
-	// rotations assume it exactly.
-	for i := 0; i < n; i++ {
-		g.Data[i*n+i] = complex(real(g.Data[i*n+i]), 0)
-		for j := i + 1; j < n; j++ {
-			avg := (g.Data[i*n+j] + cmplx.Conj(g.Data[j*n+i])) / 2
-			g.Data[i*n+j] = avg
-			g.Data[j*n+i] = cmplx.Conj(avg)
-		}
-	}
-	jacobiEigPSD(ws)
-
-	// Sort eigenpairs descending into V's columns (the accumulator holds
-	// eigenvector j in row j, so this transposes as it sorts).
-	vals := growF(&ws.evals, n)
-	idx := growI(&ws.eidx, n)
-	for i := 0; i < n; i++ {
-		vals[i] = real(g.Data[i*n+i])
-		idx[i] = i
-	}
-	insertionSortDesc(vals, idx)
-	v := ws.vmat.Reuse(n, n)
-	for jj, src := range idx {
-		row := ws.eigV.Data[src*n : (src+1)*n]
-		for i := 0; i < n; i++ {
-			v.Data[i*n+jj] = row[i]
-		}
-	}
-
-	// B = A·V, then thin QR re-orthonormalises U. The singular values are
-	// read off R's diagonal rather than as √λ: the Gram eigenvalues carry
-	// only ~√ε·σ_max absolute accuracy (squaring loses the bottom half of
-	// the spectrum), which would inflate the trailing values to noise the
-	// MPS truncation budget can no longer discard — whereas R's diagonal is
-	// computed from A's columns directly and recovers ~ε·σ_max absolute
-	// accuracy, keeping the discarded-weight arithmetic at full precision.
-	mulIntoWorkers(&ws.bmat, a, v, workers)
-	q2, r2 := QRInto(ws, &ws.bmat, workers)
-	s := growF(&ws.sval, n)
-	u := ws.uout.Reuse(m, n)
-	for j := 0; j < n; j++ {
-		d := r2.Data[j*n+j]
-		ab := cmplx.Abs(d)
-		s[j] = ab
-		ph := complex(1, 0)
-		if ab > 0 {
-			ph = d / complex(ab, 0)
-		}
-		for i := 0; i < m; i++ {
-			u.Data[i*n+j] = q2.Data[i*n+j] * ph
-		}
-	}
-	return SVDResult{U: u, S: s, V: v}
+	t := TruncSVD{ws: ws, workers: workers}
+	t.gramPhase1(a)
+	u, v := t.Factors(a.Cols)
+	return SVDResult{U: u, S: t.S, V: v}
 }
 
 // jacobiEigPSD diagonalises the Hermitian PSD matrix held in ws.gram in

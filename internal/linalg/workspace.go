@@ -53,6 +53,16 @@ type Workspace struct {
 	jacU      Matrix
 	jacV      Matrix
 	jacS      []float64
+
+	// Blocked (tridiagonal + implicit-shift QL) eigensolver scratch.
+	triV    []complex128 // parked Householder reflector vectors
+	triP    []complex128 // p/w update vector of the similarity transform
+	triU    []complex128 // subdiagonal phase accumulator
+	triSave []complex128 // input snapshot for the Jacobi fallback
+	triBeta []float64
+	triD    []float64 // tridiagonal diagonal → eigenvalues
+	triE    []float64 // tridiagonal subdiagonal
+	triQ    Matrix    // accumulated Householder unitary
 }
 
 // growC resizes a complex scratch slice to n entries, reallocating only when
@@ -176,7 +186,23 @@ func adjACols(dst, a, b *Matrix, jLo, jHi int) {
 // warm workspace performs the decomposition with zero heap allocations.
 // workers parallelises the independent column updates of each reflector
 // (results are bit-identical to the serial path for any worker count).
+// Internally the factor stage (qrFactor) and Q formation (qrFormQ) are
+// separate so the two-phase truncation SVD can defer — and rank-restrict —
+// the Q build.
 func QRInto(ws *Workspace, a *Matrix, workers int) (q, r *Matrix) {
+	r = qrFactor(ws, a, workers)
+	q = qrFormQ(ws, r.Rows, workers)
+	return q, r
+}
+
+// qrFactor runs the Householder factor stage on a copy of a held in
+// ws.qrWork: it returns R (aliasing ws.qrR) and parks the k = min(m, n)
+// reflector vectors and betas in ws.qrV/ws.qrBeta for qrFormQ. Reflector j
+// updates columns [j, n) only — the columns to its left hold nothing any
+// later stage reads (their upper-triangle entries live in rows < j, which
+// the reflector never touches), so the restriction is bit-identical to the
+// full-width update at roughly two-thirds the flops.
+func qrFactor(ws *Workspace, a *Matrix, workers int) (r *Matrix) {
 	m, n := a.Rows, a.Cols
 	k := m
 	if n < k {
@@ -219,7 +245,7 @@ func QRInto(ws *Workspace, a *Matrix, workers int) (q, r *Matrix) {
 		if betas[j] == 0 {
 			continue
 		}
-		applyHouseholder(work, v, betas[j], j, workers)
+		applyHouseholderRange(work, v, betas[j], j, j, n, workers)
 	}
 
 	r = ws.qrR.Reuse(k, n)
@@ -228,18 +254,37 @@ func QRInto(ws *Workspace, a *Matrix, workers int) (q, r *Matrix) {
 			r.Data[i*n+j] = work.Data[i*n+j]
 		}
 	}
+	return r
+}
 
-	q = ws.qrQ.Reuse(m, k)
-	for j := 0; j < k; j++ {
-		q.Data[j*k+j] = 1
+// qrFormQ materialises the leading cols columns of the thin Q factor from
+// the reflectors the preceding qrFactor call parked in the workspace (the
+// factorisation had k reflectors over m rows; cols ≤ k selects a leading
+// panel). Reflectors are replayed in reverse onto an identity block, and two
+// structural no-ops are skipped exactly: reflector idx leaves every column
+// j < idx untouched while that column is still a basis vector (its vector
+// has zeros above row idx), so the update restricts to columns [idx, cols) —
+// and reflectors with idx ≥ cols are skipped entirely. The produced panel is
+// bit-identical to the leading cols columns of the full thin Q.
+func qrFormQ(ws *Workspace, cols, workers int) (q *Matrix) {
+	m := ws.qrWork.Rows
+	k := ws.qrR.Rows
+	if cols > k {
+		cols = k
 	}
-	for idx := k - 1; idx >= 0; idx-- {
+	vs := ws.qrV
+	betas := ws.qrBeta
+	q = ws.qrQ.Reuse(m, cols)
+	for j := 0; j < cols; j++ {
+		q.Data[j*cols+j] = 1
+	}
+	for idx := cols - 1; idx >= 0; idx-- {
 		if betas[idx] == 0 {
 			continue
 		}
-		applyHouseholder(q, vs[idx*m:(idx+1)*m], betas[idx], idx, workers)
+		applyHouseholderRange(q, vs[idx*m:(idx+1)*m], betas[idx], idx, idx, cols, workers)
 	}
-	return q, r
+	return q
 }
 
 // LQInto computes the thin LQ decomposition a = l·q through the workspace:

@@ -1,0 +1,193 @@
+package mps
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+)
+
+// BatchSimWorkspace owns the per-row engine workspaces and the op list of
+// the banded circuit engine. Slots are grow-only: a workspace warmed to the
+// largest band and bond dimension seen is reused across bands (and across
+// state-cache fills) with zero steady-state allocations. Not safe for
+// concurrent use; give each banding goroutine its own.
+type BatchSimWorkspace struct {
+	slots []*SimWorkspace
+	ops   []linalg.MatMulOp
+	mats  []*linalg.Matrix
+}
+
+// NewBatchSimWorkspace returns an empty banded workspace; slots grow lazily
+// to the largest band width encountered.
+func NewBatchSimWorkspace() *BatchSimWorkspace { return &BatchSimWorkspace{} }
+
+// Slot returns the i-th per-row engine workspace, growing the slot list as
+// needed. Existing slots (and their warmed buffers) are always reused.
+func (bw *BatchSimWorkspace) Slot(i int) *SimWorkspace {
+	for len(bw.slots) <= i {
+		bw.slots = append(bw.slots, NewSimWorkspace())
+	}
+	return bw.slots[i]
+}
+
+// circuitsCongruent reports whether every circuit shares one gate structure
+// with the first: same qubit count, same gate count, and gate for gate the
+// same arity and qubit indices. Gate matrices are free to differ — that is
+// the banded case: one circuit ansatz evaluated at many feature vectors.
+// Congruent circuits drive the fusion engine through identical branches, so
+// a band can run in lockstep while each row keeps its own numbers.
+func circuitsCongruent(circs []*circuit.Circuit) bool {
+	if len(circs) == 0 {
+		return false
+	}
+	c0 := circs[0]
+	for _, c := range circs[1:] {
+		if c.NumQubits != c0.NumQubits || len(c.Gates) != len(c0.Gates) {
+			return false
+		}
+		for i, g := range c.Gates {
+			g0 := c0.Gates[i]
+			if len(g.Qubits) != len(g0.Qubits) {
+				return false
+			}
+			for j, q := range g.Qubits {
+				if q != g0.Qubits[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ApplyCircuitsBanded applies circs[i] to states[i] for a band of
+// structurally congruent circuits, materialising the whole band in lockstep:
+// at every two-qubit gate position the per-row theta contractions are stacked
+// into one fused MatMulBatchInto dispatch — one GEMM call per band per gate,
+// not χ-sized matmuls per row. Because ApplyCircuit's gate-fusion decisions
+// depend only on the circuit structure (gate order, arity, qubit indices) —
+// which congruent circuits share — every row takes exactly the branch
+// sequence the serial engine would, and each state comes out bit-identical
+// to states[i].ApplyCircuit(circs[i]).
+//
+// Bands that cannot run in lockstep (incongruent structures, a state with
+// RecordMemory or the reference kernels pinned, a borrowed clone) fall back
+// to per-row ApplyCircuit, still reusing the band workspace's slots.
+func ApplyCircuitsBanded(states []*MPS, circs []*circuit.Circuit, bw *BatchSimWorkspace) error {
+	if len(states) != len(circs) {
+		return fmt.Errorf("mps: banded apply with %d states but %d circuits", len(states), len(circs))
+	}
+	if len(states) == 0 {
+		return nil
+	}
+	if bw == nil {
+		bw = NewBatchSimWorkspace()
+	}
+	lockstep := circuitsCongruent(circs)
+	for _, m := range states {
+		if m.cfg.RecordMemory || !m.engineActive() {
+			lockstep = false
+			break
+		}
+	}
+	if !lockstep || len(states) == 1 {
+		for i, m := range states {
+			m.AttachWorkspace(bw.Slot(i))
+			if err := m.ApplyCircuit(circs[i]); err != nil {
+				return fmt.Errorf("mps: banded apply row %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	n := len(states)
+	for i, m := range states {
+		if circs[i].NumQubits != m.N {
+			return fmt.Errorf("mps: banded apply row %d: circuit on %d qubits applied to %d-qubit state", i, circs[i].NumQubits, m.N)
+		}
+		ws := bw.Slot(i)
+		m.AttachWorkspace(ws)
+		ws.ensurePending(m.N)
+	}
+	if cap(bw.ops) < n {
+		bw.ops = make([]linalg.MatMulOp, n)
+		bw.mats = make([]*linalg.Matrix, n)
+	}
+	ops := bw.ops[:n]
+	mats := bw.mats[:n]
+
+	flushAll := func() {
+		for i, m := range states {
+			m.flushPending(bw.Slot(i))
+		}
+	}
+
+	for gi := range circs[0].Gates {
+		// Structure is shared; validate once against row 0 so error positions
+		// match the serial path (every row would fail the same check).
+		if err := circs[0].Gates[gi].Validate(states[0].N); err != nil {
+			flushAll()
+			return fmt.Errorf("mps: banded apply gate %d: %w", gi, err)
+		}
+		switch len(circs[0].Gates[gi].Qubits) {
+		case 1:
+			q := circs[0].Gates[gi].Qubits[0]
+			for i, m := range states {
+				ws := bw.Slot(i)
+				g := circs[i].Gates[gi]
+				p := ws.pending[4*q : 4*q+4]
+				if ws.has[q] {
+					var tmp [4]complex128
+					mul2x2(tmp[:], g.Mat.Data, p)
+					copy(p, tmp[:])
+				} else {
+					copy(p, g.Mat.Data)
+					ws.has[q] = true
+				}
+				m.gatesApplied++
+			}
+		case 2:
+			a0, b0 := circs[0].Gates[gi].Qubits[0], circs[0].Gates[gi].Qubits[1]
+			if d := a0 - b0; d != 1 && d != -1 {
+				flushAll()
+				return fmt.Errorf("mps: banded apply gate %d: two-qubit gate %q on non-adjacent qubits %d,%d (route the circuit first)", gi, circs[0].Gates[gi].Name, a0, b0)
+			}
+			q := a0
+			if b0 < a0 {
+				q = b0
+			}
+			// Per-row gate folding/reordering into the row's own slot buffers
+			// (they must survive until the post-contraction finish), then one
+			// fused contraction for the whole band, then per-row SVD+writeback.
+			for i, m := range states {
+				ws := bw.Slot(i)
+				mat := circs[i].Gates[gi].Mat
+				if ws.has[a0] || ws.has[b0] {
+					var pa, pb []complex128
+					if ws.has[a0] {
+						pa = ws.pending[4*a0 : 4*a0+4]
+					}
+					if ws.has[b0] {
+						pb = ws.pending[4*b0 : 4*b0+4]
+					}
+					mat = foldInto(&ws.fold, mat, pa, pb)
+					ws.has[a0], ws.has[b0] = false, false
+				}
+				if a0 > b0 {
+					mat = swapQubitOrderInto(&ws.swap, mat)
+				}
+				mats[i] = mat
+				av, bv := m.prepTheta2(ws, q)
+				ops[i] = linalg.MatMulOp{Dst: &ws.theta, A: av, B: bv}
+			}
+			states[0].cfg.Backend.MatMulBatchInto(ops)
+			for i, m := range states {
+				m.finishTheta2(bw.Slot(i), mats[i], q)
+				m.gatesApplied++
+			}
+		}
+	}
+	flushAll()
+	return nil
+}

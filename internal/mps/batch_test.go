@@ -1,0 +1,191 @@
+package mps
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// requireBitIdentical fails unless a and b hold exactly the same tensors —
+// same site count, shapes, and complex128 bit patterns. The banded engine's
+// contract is not "close": every row must take the exact branch sequence and
+// arithmetic of the serial engine.
+func requireBitIdentical(t *testing.T, label string, got, want *MPS) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: qubit counts %d vs %d", label, got.N, want.N)
+	}
+	for s := 0; s < got.N; s++ {
+		gs, ws := got.Sites[s], want.Sites[s]
+		if len(gs.Shape) != len(ws.Shape) {
+			t.Fatalf("%s: site %d rank %d vs %d", label, s, len(gs.Shape), len(ws.Shape))
+		}
+		for d := range gs.Shape {
+			if gs.Shape[d] != ws.Shape[d] {
+				t.Fatalf("%s: site %d shape %v vs %v", label, s, gs.Shape, ws.Shape)
+			}
+		}
+		if gs.Size() != ws.Size() {
+			t.Fatalf("%s: site %d size %d vs %d", label, s, gs.Size(), ws.Size())
+		}
+		for i := range gs.Data {
+			if gs.Data[i] != ws.Data[i] {
+				t.Fatalf("%s: site %d entry %d: %v vs %v", label, s, i, gs.Data[i], ws.Data[i])
+			}
+		}
+	}
+	if got.TruncationError != want.TruncationError {
+		t.Fatalf("%s: truncation error %v vs %v", label, got.TruncationError, want.TruncationError)
+	}
+}
+
+// bandOf builds n congruent circuits (one ansatz, n feature vectors) and the
+// zero states to run them on.
+func bandOf(t *testing.T, rng *rand.Rand, a circuit.Ansatz, n int, cfg Config) ([]*MPS, []*circuit.Circuit) {
+	t.Helper()
+	states := make([]*MPS, n)
+	circs := make([]*circuit.Circuit, n)
+	for i := range states {
+		c, err := a.BuildRouted(randomData(rng, a.Qubits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		circs[i] = c
+		states[i] = NewZeroState(a.Qubits, cfg)
+	}
+	return states, circs
+}
+
+// TestApplyCircuitsBandedBitIdentical is the core banded metamorphic
+// relation: a lockstep band and the serial per-row engine must produce
+// bit-identical states, across band sizes (1 forces the fallback, larger
+// bands the fused path) and randomized circuit shapes per the Ba et al.
+// metamorphic-coverage framing.
+func TestApplyCircuitsBandedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := []circuit.Ansatz{
+		engineAnsatz,
+		{Qubits: 4, Layers: 1, Distance: 1, Gamma: 0.5},
+		{Qubits: 6, Layers: 3, Distance: 2, Gamma: 1.3},
+	}
+	for i := 0; i < 5; i++ {
+		shapes = append(shapes, circuit.Ansatz{
+			Qubits:   3 + rng.Intn(5),
+			Layers:   1 + rng.Intn(3),
+			Distance: 1 + rng.Intn(2),
+			Gamma:    0.2 + 1.5*rng.Float64(),
+		})
+	}
+	for si, a := range shapes {
+		for _, band := range []int{1, 3, 7} {
+			t.Run(fmt.Sprintf("shape%d_band%d", si, band), func(t *testing.T) {
+				// Deterministic per-subtest data so banded and serial see the
+				// same circuits.
+				sub := rand.New(rand.NewSource(int64(100*si + band)))
+				states, circs := bandOf(t, sub, a, band, Config{})
+				sub = rand.New(rand.NewSource(int64(100*si + band)))
+				ref, refCircs := bandOf(t, sub, a, band, Config{})
+
+				bw := NewBatchSimWorkspace()
+				if err := ApplyCircuitsBanded(states, circs, bw); err != nil {
+					t.Fatal(err)
+				}
+				for i := range ref {
+					if err := ref[i].ApplyCircuit(refCircs[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := range states {
+					requireBitIdentical(t, fmt.Sprintf("row %d", i), states[i], ref[i])
+				}
+				// Reusing the warmed band workspace must stay bit-identical.
+				sub = rand.New(rand.NewSource(int64(7000 + si)))
+				again, againCircs := bandOf(t, sub, a, band, Config{})
+				sub = rand.New(rand.NewSource(int64(7000 + si)))
+				againRef, againRefCircs := bandOf(t, sub, a, band, Config{})
+				if err := ApplyCircuitsBanded(again, againCircs, bw); err != nil {
+					t.Fatal(err)
+				}
+				for i := range againRef {
+					if err := againRef[i].ApplyCircuit(againRefCircs[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := range again {
+					requireBitIdentical(t, fmt.Sprintf("warm row %d", i), again[i], againRef[i])
+				}
+			})
+		}
+	}
+}
+
+// TestApplyCircuitsBandedIncongruentFallback: structurally different circuits
+// in one band cannot run in lockstep, but the fallback must still produce
+// exactly the serial results.
+func TestApplyCircuitsBandedIncongruentFallback(t *testing.T) {
+	mk := func() ([]*MPS, []*circuit.Circuit) {
+		c1 := circuit.New(4)
+		c1.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+		c1.MustAppend(circuit.Gate{Name: "CX", Qubits: []int{0, 1}, Mat: gates.CX()})
+		c2 := circuit.New(4)
+		c2.MustAppend(circuit.Gate{Name: "H", Qubits: []int{2}, Mat: gates.H()})
+		c2.MustAppend(circuit.Gate{Name: "CX", Qubits: []int{2, 3}, Mat: gates.CX()})
+		return []*MPS{NewZeroState(4, Config{}), NewZeroState(4, Config{})}, []*circuit.Circuit{c1, c2}
+	}
+	states, circs := mk()
+	if err := ApplyCircuitsBanded(states, circs, nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, refCircs := mk()
+	for i := range ref {
+		if err := ref[i].ApplyCircuit(refCircs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range states {
+		requireBitIdentical(t, fmt.Sprintf("row %d", i), states[i], ref[i])
+	}
+}
+
+// TestApplyCircuitsBandedReferenceKernelsFallback: a band containing a state
+// pinned to the reference kernels cannot lockstep (the reference path is the
+// allocating one); results must still match the serial application exactly.
+func TestApplyCircuitsBandedReferenceKernelsFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := circuit.Ansatz{Qubits: 4, Layers: 1, Distance: 1, Gamma: 0.7}
+	states, circs := bandOf(t, rng, a, 3, Config{ReferenceKernels: true})
+	rng = rand.New(rand.NewSource(31))
+	ref, refCircs := bandOf(t, rng, a, 3, Config{ReferenceKernels: true})
+	if err := ApplyCircuitsBanded(states, circs, NewBatchSimWorkspace()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if err := ref[i].ApplyCircuit(refCircs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range states {
+		requireBitIdentical(t, fmt.Sprintf("row %d", i), states[i], ref[i])
+	}
+}
+
+// TestApplyCircuitsBandedErrors: length mismatches and qubit-count mismatches
+// must error cleanly rather than corrupt states.
+func TestApplyCircuitsBandedErrors(t *testing.T) {
+	c := circuit.New(4)
+	c.MustAppend(circuit.Gate{Name: "H", Qubits: []int{0}, Mat: gates.H()})
+	if err := ApplyCircuitsBanded([]*MPS{NewZeroState(4, Config{})}, nil, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := ApplyCircuitsBanded(nil, nil, nil); err != nil {
+		t.Fatalf("empty band: %v", err)
+	}
+	// Congruent circuits on the wrong-size state: caught per row.
+	states := []*MPS{NewZeroState(5, Config{}), NewZeroState(5, Config{})}
+	if err := ApplyCircuitsBanded(states, []*circuit.Circuit{c, c}, nil); err == nil {
+		t.Fatal("qubit-count mismatch must error")
+	}
+}

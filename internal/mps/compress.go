@@ -40,6 +40,21 @@ func (m *MPS) Compress(budget float64, maxBond int) (float64, error) {
 	}()
 
 	var discarded float64
+	if m.engineActive() {
+		discarded = m.compressSweepEngine()
+	} else {
+		discarded = m.compressSweepReference()
+	}
+	m.TruncationError += discarded
+	return discarded, nil
+}
+
+// compressSweepReference is the allocating left-to-right truncation sweep:
+// every intermediate (matricized site, SVD factors, carry, contraction) is
+// materialised fresh. Pinned by ReferenceKernels and used for borrowed
+// read-clones, which must never mutate shared site buffers in place.
+func (m *MPS) compressSweepReference() float64 {
+	var discarded float64
 	for i := 0; i+1 < m.N; i++ {
 		// Centre is at site i: SVD it across (l·2 | r), truncate, keep the
 		// isometry at site i and absorb diag(S)·V† into site i+1.
@@ -64,8 +79,56 @@ func (m *MPS) Compress(budget float64, maxBond int) (float64, error) {
 		m.Sites[i+1] = tensor.ContractWith(carryT, m.Sites[i+1], []int{1}, []int{0}, m.cfg.Backend.MatMul)
 		m.center = i + 1
 	}
-	m.TruncationError += discarded
-	return discarded, nil
+	return discarded
+}
+
+// compressSweepEngine is the zero-realloc truncation sweep: each site is
+// decomposed through the two-phase workspace SVD (the cut decided on the
+// full spectrum, factors materialised at the kept rank only) and the
+// truncated isometry and diag(S)·V† carry are written straight into the
+// sites' grow-only buffers — no Matricize copies, no fresh factor matrices,
+// no tensor.ContractWith allocation per bond.
+func (m *MPS) compressSweepEngine() float64 {
+	ws := m.workspace()
+	var discarded float64
+	for i := 0; i+1 < m.N; i++ {
+		site := m.Sites[i] // (l, 2, r)
+		l, r := site.Shape[0], site.Shape[2]
+		av := viewMatrix(&ws.aview, 2*l, r, site.Data)
+		ts := m.cfg.Backend.SVDTruncLazy(&ws.la, av)
+		keep, d := m.truncationCut(ts.S)
+		discarded += d
+		um, vm := ts.Factors(keep)
+		us, vs := um.Cols, vm.Cols
+
+		// carry ← diag(S)·V† (keep × r), staged in the theta buffer (free
+		// between gate applications).
+		carry := ws.theta.Reuse(keep, r)
+		for row := 0; row < keep; row++ {
+			f := complex(ts.S[row], 0)
+			crow := carry.Data[row*r : (row+1)*r]
+			for j := 0; j < r; j++ {
+				v := vm.Data[j*vs+row]
+				crow[j] = complex(real(v), -imag(v)) * f
+			}
+		}
+		// Site i ← U[:, :keep]; factors alias the workspace, so the site
+		// buffer can be rewritten in place right away.
+		site.Reuse3(l, 2, keep)
+		for row := 0; row < 2*l; row++ {
+			copy(site.Data[row*keep:(row+1)*keep], um.Data[row*us:row*us+keep])
+		}
+		// Site i+1 ← carry · site_{i+1}, absorbed through the workspace
+		// product buffer.
+		next := m.Sites[i+1] // (r, 2, r2)
+		r2 := next.Shape[2]
+		bv := viewMatrix(&ws.bview, r, 2*r2, next.Data)
+		m.cfg.Backend.MatMulInto(&ws.absorb, carry, bv)
+		next.Reuse3(keep, 2, r2)
+		copy(next.Data, ws.absorb.Data)
+		m.center = i + 1
+	}
+	return discarded
 }
 
 // MemoryAfterCompress estimates (without mutating the state) the memory a

@@ -150,31 +150,56 @@ func fuseGate2(theta []complex128, g []complex128, l, r int) {
 // pass, run the workspace-backed truncation SVD, and write the truncated
 // factors straight into the sites' grow-only buffers — U reshaped into site
 // q, and diag(S)·V† absorbed in place into site q+1 (no ConjTranspose copy,
-// no intermediate Truncate).
+// no intermediate Truncate). It is the serial composition of prepTheta2,
+// the theta contraction, and finishTheta2; ApplyCircuitsBanded runs the same
+// three stages with the contraction of a whole band fused into one
+// MatMulBatchInto dispatch.
 func (m *MPS) apply2Engine(g *linalg.Matrix, q int) {
 	ws := m.workspace()
+	av, bv := m.prepTheta2(ws, q)
+	m.cfg.Backend.MatMulInto(&ws.theta, av, bv)
+	m.finishTheta2(ws, g, q)
+}
+
+// prepTheta2 runs everything of the two-qubit engine path that precedes the
+// theta contraction: canonicalise to q and point the workspace's header views
+// at the two site tensors. The returned views (aliasing ws.aview/ws.bview)
+// are the operands of theta[(l,s_q),(s_q1,r)] = Σ_k a·b, which the caller
+// contracts into ws.theta — serially (apply2Engine) or as one op of a banded
+// MatMulBatchInto.
+func (m *MPS) prepTheta2(ws *SimWorkspace, q int) (av, bv *linalg.Matrix) {
 	if m.cfg.SkipCanonicalization {
 		m.canonical = false
 	} else {
 		m.moveCenterTo(q)
 	}
-
 	a, b := m.Sites[q], m.Sites[q+1] // (l,2,k) and (k,2,r)
 	l, k, r := a.Shape[0], a.Shape[2], b.Shape[2]
+	av = viewMatrix(&ws.aview, 2*l, k, a.Data)
+	bv = viewMatrix(&ws.bview, k, 2*r, b.Data)
+	return av, bv
+}
 
-	// theta[(l, s_q), (s_q1, r)] = Σ_k a[l, s_q, k] · b[k, s_q1, r]
-	av := viewMatrix(&ws.aview, 2*l, k, a.Data)
-	bv := viewMatrix(&ws.bview, k, 2*r, b.Data)
-	m.cfg.Backend.MatMulInto(&ws.theta, av, bv)
+// finishTheta2 runs everything of the two-qubit engine path after the theta
+// contraction has landed in ws.theta: fuse the gate, truncate via the
+// two-phase SVD, and write the factors back into the site buffers.
+func (m *MPS) finishTheta2(ws *SimWorkspace, g *linalg.Matrix, q int) {
+	a, b := m.Sites[q], m.Sites[q+1]
+	l, r := a.Shape[0], b.Shape[2]
 	fuseGate2(ws.theta.Data, g.Data, l, r)
 
-	res := m.cfg.Backend.SVDTrunc(&ws.la, &ws.theta)
-	keep, discarded := m.truncationCut(res.S)
+	// Two-phase truncation SVD: the cut is decided on the full spectrum,
+	// then Factors materialises (and re-orthonormalises) only the kept
+	// columns — the QR that dominates the decomposition runs on an m×keep
+	// panel instead of m×n.
+	ts := m.cfg.Backend.SVDTruncLazy(&ws.la, &ws.theta)
+	keep, discarded := m.truncationCut(ts.S)
 	m.TruncationError += discarded
+	um, vm := ts.Factors(keep)
 
 	norm2 := 0.0
 	for i := 0; i < keep; i++ {
-		norm2 += res.S[i] * res.S[i]
+		norm2 += ts.S[i] * ts.S[i]
 	}
 	scale := complex(1, 0)
 	if m.cfg.Renormalize && norm2 > 0 {
@@ -182,18 +207,18 @@ func (m *MPS) apply2Engine(g *linalg.Matrix, q int) {
 	}
 
 	// Left site ← U[:, :keep] (left-canonical).
-	nsv := res.U.Cols
+	us, vs := um.Cols, vm.Cols
 	a.Reuse3(l, 2, keep)
 	for i := 0; i < 2*l; i++ {
-		copy(a.Data[i*keep:(i+1)*keep], res.U.Data[i*nsv:i*nsv+keep])
+		copy(a.Data[i*keep:(i+1)*keep], um.Data[i*us:i*us+keep])
 	}
 	// Right site ← diag(S)·V† (the centre), absorbed in place.
 	b.Reuse3(keep, 2, r)
 	for i := 0; i < keep; i++ {
-		f := complex(res.S[i], 0) * scale
+		f := complex(ts.S[i], 0) * scale
 		row := b.Data[i*2*r : (i+1)*2*r]
 		for j := 0; j < 2*r; j++ {
-			v := res.V.Data[j*nsv+i]
+			v := vm.Data[j*vs+i]
 			row[j] = complex(real(v), -imag(v)) * f
 		}
 	}

@@ -27,9 +27,9 @@ package statecache
 
 import (
 	"container/list"
-	"encoding/binary"
-	"hash/fnv"
+	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -47,24 +47,43 @@ const entryOverheadBytes = 256
 // will produce in practice).
 type Key struct{ hi, lo uint64 }
 
+// FNV-128a parameters (the same constants hash/fnv uses): the offset basis
+// seeds the state and each input byte is XORed into the low word before the
+// 128-bit multiply by the prime 2^88 + 2^8 + 0x3b.
+const (
+	fnvOffsetHi   = 0x6c62272e07bb0142
+	fnvOffsetLo   = 0x62b821756295c58d
+	fnvPrimeLow   = 0x13b
+	fnvPrimeShift = 24
+)
+
 // KeyFor fingerprints a simulation context (an opaque string encoding the
 // ansatz and simulator configuration — see kernel.Quantum) together with a
 // data row. Rows hash by exact float64 bit pattern: the cache never returns
 // a state for approximately-equal inputs.
+//
+// The hash is FNV-128a inlined (bit-identical to hash/fnv's New128a over the
+// same byte stream — pinned by TestKeyForMatchesStdlibFNV) so keying a lookup
+// performs zero heap allocations: this runs once per row on every cache
+// probe in the kernel, dist and serve hot paths.
 func KeyFor(context string, x []float64) Key {
-	h := fnv.New128a()
-	_, _ = h.Write([]byte(context))
-	var buf [8]byte
+	hi, lo := uint64(fnvOffsetHi), uint64(fnvOffsetLo)
+	for i := 0; i < len(context); i++ {
+		lo ^= uint64(context[i])
+		s0, s1 := bits.Mul64(fnvPrimeLow, lo)
+		s0 += lo<<fnvPrimeShift + fnvPrimeLow*hi
+		hi, lo = s0, s1
+	}
 	for _, v := range x {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		_, _ = h.Write(buf[:])
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 { // little-endian byte order, as before
+			lo ^= uint64(byte(b >> s))
+			s0, s1 := bits.Mul64(fnvPrimeLow, lo)
+			s0 += lo<<fnvPrimeShift + fnvPrimeLow*hi
+			hi, lo = s0, s1
+		}
 	}
-	var sum [16]byte
-	h.Sum(sum[:0])
-	return Key{
-		hi: binary.BigEndian.Uint64(sum[0:8]),
-		lo: binary.BigEndian.Uint64(sum[8:16]),
-	}
+	return Key{hi: hi, lo: lo}
 }
 
 // EntryBytes is the budget cost of caching st: its tensor payload plus the
@@ -166,6 +185,28 @@ func (c *Cache) Get(k Key) (*mps.MPS, bool) {
 		return el.Value.(*entry).st, true
 	}
 	c.misses++
+	return nil, false
+}
+
+// Probe returns the resident state for k without ever counting a miss: a
+// found entry is refreshed in LRU order and counted as a hit exactly like
+// Get, while an absent one leaves every counter untouched. It is the
+// allocation-free fast path for hot loops that keep their own fallback —
+// a caller that probes and then falls back to GetOrCompute on absence ends
+// up with the same counter totals as calling GetOrCompute alone. Probe never
+// joins an in-flight computation (that requires blocking, which the fallback
+// path provides).
+func (c *Cache) Probe(k Key) (*mps.MPS, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).st, true
+	}
 	return nil, false
 }
 
@@ -287,6 +328,137 @@ func (c *Cache) GetOrComputeTraced(k Key, sp *obs.Span, compute func() (*mps.MPS
 	close(cl.done)
 	sp.Event("cache_compute", obs.KV("us", elapsed.Microseconds()))
 	return cl.st, false, cl.err
+}
+
+// GetOrComputeBatch is the banded form of GetOrCompute: it classifies every
+// key of a band under one lock acquisition, runs compute ONCE for all misses
+// (receiving their indices into keys, so a banded simulator can materialise
+// them through one fused band), and joins resident entries, other callers'
+// in-flight simulations, and within-band duplicate keys without recomputing.
+// Counter semantics match a serial GetOrCompute loop: every avoided
+// simulation — residency, in-flight join, or a duplicate of an earlier band
+// index — counts as a hit, and each computed key as a miss. The band's own
+// misses are registered as in-flight before compute runs, so concurrent
+// callers join them instead of duplicating work. A compute error is
+// propagated to every waiter and to the caller; nothing is cached.
+func (c *Cache) GetOrComputeBatch(keys []Key, sp *obs.Span, compute func(miss []int) ([]*mps.MPS, error)) (sts []*mps.MPS, hits int, err error) {
+	sts = make([]*mps.MPS, len(keys))
+	if c == nil {
+		t0 := time.Now()
+		miss := make([]int, len(keys))
+		for i := range miss {
+			miss[i] = i
+		}
+		computed, err := compute(miss)
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(sts, computed)
+		sp.Event("cache_batch", obs.KV("computes", len(keys)), obs.KV("us", time.Since(t0).Microseconds()), obs.KV("uncached", true))
+		return sts, 0, nil
+	}
+
+	type join struct {
+		idx int
+		cl  *call
+	}
+	var (
+		miss  []int       // indices this call computes
+		own   []*call     // the in-flight calls registered for them
+		joins []join      // indices joining another caller's in-flight call
+		dups  []int       // indices whose key duplicates an earlier miss
+		first map[Key]int // key → position in miss
+	)
+	c.mu.Lock()
+	for i, k := range keys {
+		if el, ok := c.items[k]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			hits++
+			sts[i] = el.Value.(*entry).st
+			continue
+		}
+		if cl, ok := c.inflight[k]; ok {
+			c.hits++
+			hits++
+			joins = append(joins, join{idx: i, cl: cl})
+			continue
+		}
+		if first == nil {
+			first = make(map[Key]int)
+		}
+		if _, ok := first[k]; ok {
+			// A duplicate of a miss earlier in this band: the band's own
+			// compute produces it once and this index shares the result.
+			c.hits++
+			hits++
+			dups = append(dups, i)
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[k] = cl
+		c.misses++
+		first[k] = len(miss)
+		miss = append(miss, i)
+		own = append(own, cl)
+	}
+	c.mu.Unlock()
+
+	var computeUS, waitUS int64
+	if len(miss) > 0 {
+		t0 := time.Now()
+		computed, cerr := compute(miss)
+		elapsed := time.Since(t0)
+		computeUS = elapsed.Microseconds()
+		if cerr == nil && len(computed) != len(miss) {
+			cerr = fmt.Errorf("statecache: batch compute returned %d states for %d misses", len(computed), len(miss))
+		}
+		c.mu.Lock()
+		c.computeWall += elapsed
+		for j, cl := range own {
+			k := keys[miss[j]]
+			delete(c.inflight, k)
+			if cerr == nil {
+				cl.st = computed[j]
+				c.put(k, cl.st)
+			} else {
+				cl.err = cerr
+			}
+		}
+		c.mu.Unlock()
+		for j, cl := range own {
+			close(cl.done)
+			if cerr == nil {
+				sts[miss[j]] = cl.st
+			}
+		}
+		if cerr != nil {
+			err = cerr
+		}
+	}
+	for _, i := range dups {
+		sts[i] = sts[miss[first[keys[i]]]]
+	}
+	for _, jn := range joins {
+		t0 := time.Now()
+		<-jn.cl.done
+		wait := time.Since(t0)
+		waitUS += wait.Microseconds()
+		c.mu.Lock()
+		c.waitWall += wait
+		c.mu.Unlock()
+		if jn.cl.err != nil && err == nil {
+			err = jn.cl.err
+		}
+		sts[jn.idx] = jn.cl.st
+	}
+	sp.Event("cache_batch",
+		obs.KV("hits", hits), obs.KV("computes", len(miss)), obs.KV("joins", len(joins)),
+		obs.KV("us", computeUS), obs.KV("wait_us", waitUS))
+	if err != nil {
+		return nil, hits, err
+	}
+	return sts, hits, nil
 }
 
 // Stats returns a consistent snapshot of the counters.

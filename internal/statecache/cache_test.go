@@ -1,7 +1,11 @@
 package statecache
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -325,5 +329,236 @@ func TestLatencyCounters(t *testing.T) {
 	after := c.Stats()
 	if after.ComputeWall != before.ComputeWall || after.WaitWall != before.WaitWall {
 		t.Fatalf("resident hit moved latency counters: %+v vs %+v", after, before)
+	}
+}
+
+// TestKeyForMatchesStdlibFNV pins the inlined FNV-128a in KeyFor to the
+// stdlib implementation over the same byte stream (context bytes, then each
+// float64 little-endian): the inline form exists only to make keying
+// allocation-free, never to change a single key.
+func TestKeyForMatchesStdlibFNV(t *testing.T) {
+	ref := func(context string, x []float64) Key {
+		h := fnv.New128a()
+		_, _ = h.Write([]byte(context))
+		var buf [8]byte
+		for _, v := range x {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			_, _ = h.Write(buf[:])
+		}
+		var sum [16]byte
+		h.Sum(sum[:0])
+		return Key{
+			hi: binary.BigEndian.Uint64(sum[0:8]),
+			lo: binary.BigEndian.Uint64(sum[8:16]),
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		context string
+		x       []float64
+	}{
+		{"", nil},
+		{"ctx", nil},
+		{"", []float64{0}},
+		{"ansatz:8/2/1/3fe0000000000000|cfg:serial/3ddb7cdfd9d7bdbb/0/false/false/false/false", []float64{0.25, 0.5, 1.75}},
+	}
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(12)
+		x := make([]float64, n)
+		for j := range x {
+			x[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		ctx := make([]byte, rng.Intn(90))
+		for j := range ctx {
+			ctx[j] = byte(rng.Intn(256))
+		}
+		cases = append(cases, struct {
+			context string
+			x       []float64
+		}{string(ctx), x})
+	}
+	for _, c := range cases {
+		if got, want := KeyFor(c.context, c.x), ref(c.context, c.x); got != want {
+			t.Fatalf("KeyFor(%q, %v) = %+v, stdlib fnv gives %+v", c.context, c.x, got, want)
+		}
+	}
+}
+
+// TestKeyForZeroAlloc: keying runs once per row on every cache probe in the
+// kernel/dist/serve hot paths and must never touch the heap.
+func TestKeyForZeroAlloc(t *testing.T) {
+	ctx := "ansatz:8/2/1/3fe0000000000000|cfg:serial/3ddb7cdfd9d7bdbb/0/false/false/false/false"
+	x := []float64{0.25, 0.5, 1.75, 0.125}
+	if n := testing.AllocsPerRun(50, func() { _ = KeyFor(ctx, x) }); n != 0 {
+		t.Fatalf("KeyFor performed %v allocations, want 0", n)
+	}
+}
+
+// TestProbeCounterNeutralOnAbsence: Probe + GetOrCompute fallback must count
+// exactly like GetOrCompute alone — a found entry is a hit, an absent one
+// counts nothing until the fallback records the miss.
+func TestProbeCounterNeutralOnAbsence(t *testing.T) {
+	c := New(1 << 20)
+	st := zeroState(4)
+	if _, ok := c.Probe(key(1)); ok {
+		t.Fatal("probe of empty cache reported a hit")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("absent probe moved counters: %+v", s)
+	}
+	if _, _, err := c.GetOrCompute(key(1), func() (*mps.MPS, error) { return st, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Probe(key(1))
+	if !ok || got != st {
+		t.Fatal("probe missed a resident entry")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("probe hit accounting wrong: %+v", s)
+	}
+	// LRU refresh: probing key 1 must protect it from eviction over key 2.
+	c2 := New(2 * EntryBytes(st))
+	c2.Put(key(1), st)
+	c2.Put(key(2), zeroState(4))
+	if _, ok := c2.Probe(key(1)); !ok {
+		t.Fatal("setup: key 1 not resident")
+	}
+	c2.Put(key(3), zeroState(4)) // evicts key 2, the LRU entry after the probe
+	if _, ok := c2.Probe(key(1)); !ok {
+		t.Fatal("probe did not refresh LRU order: key 1 evicted")
+	}
+	if _, ok := c2.Get(key(2)); ok {
+		t.Fatal("key 2 should have been the eviction victim")
+	}
+	var nilCache *Cache
+	if _, ok := nilCache.Probe(key(1)); ok {
+		t.Fatal("nil cache probe reported a hit")
+	}
+}
+
+// TestGetOrComputeBatchClassification: one batch mixing resident keys,
+// within-band duplicates and true misses must compute only the misses (as
+// one call) and count exactly like a serial GetOrCompute loop.
+func TestGetOrComputeBatchClassification(t *testing.T) {
+	c := New(1 << 20)
+	resident := zeroState(4)
+	c.Put(key(0), resident)
+	s0 := c.Stats()
+
+	var calls, computed int
+	keys := []Key{key(0), key(1), key(2), key(1)} // resident, miss, miss, dup-of-miss
+	sts, hits, err := c.GetOrComputeBatch(keys, nil, func(miss []int) ([]*mps.MPS, error) {
+		calls++
+		computed = len(miss)
+		if want := []int{1, 2}; len(miss) != 2 || miss[0] != want[0] || miss[1] != want[1] {
+			t.Fatalf("miss indices %v, want %v", miss, want)
+		}
+		return []*mps.MPS{zeroState(4), zeroState(4)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || computed != 2 {
+		t.Fatalf("compute ran %d times over %d misses, want once over 2", calls, computed)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (resident + within-band duplicate)", hits)
+	}
+	if sts[0] != resident {
+		t.Fatal("resident entry not returned")
+	}
+	if sts[1] == nil || sts[1] != sts[3] {
+		t.Fatal("duplicate key must share the computed state")
+	}
+	if d := c.Stats(); d.Hits-s0.Hits != 2 || d.Misses-s0.Misses != 2 {
+		t.Fatalf("counter deltas %+v vs %+v", d, s0)
+	}
+	// The misses are now resident.
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("computed state was not retained")
+	}
+}
+
+// TestGetOrComputeBatchJoinsInflight: a batch whose key is already being
+// computed by another caller must join that computation, not duplicate it.
+func TestGetOrComputeBatchJoinsInflight(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	st := zeroState(4)
+	go func() {
+		_, _, _ = c.GetOrCompute(key(9), func() (*mps.MPS, error) {
+			close(started)
+			<-release
+			return st, nil
+		})
+	}()
+	<-started
+	done := make(chan []*mps.MPS, 1)
+	go func() {
+		sts, hits, err := c.GetOrComputeBatch([]Key{key(9)}, nil, func(miss []int) ([]*mps.MPS, error) {
+			t.Error("batch must join the in-flight computation, not recompute")
+			return nil, nil
+		})
+		if err != nil || hits != 1 {
+			t.Errorf("join: hits=%d err=%v", hits, err)
+		}
+		done <- sts
+	}()
+	// The joining batch must be blocked until the first caller finishes.
+	select {
+	case <-done:
+		t.Fatal("batch returned before the in-flight computation finished")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	sts := <-done
+	if sts[0] != st {
+		t.Fatal("joined batch did not receive the in-flight result")
+	}
+}
+
+// TestGetOrComputeBatchErrorPropagation: a failing band compute must error
+// every waiter, cache nothing, and clear the in-flight registrations.
+func TestGetOrComputeBatchErrorPropagation(t *testing.T) {
+	c := New(1 << 20)
+	wantErr := fmt.Errorf("boom")
+	_, _, err := c.GetOrComputeBatch([]Key{key(5), key(6)}, nil, func(miss []int) ([]*mps.MPS, error) {
+		return nil, wantErr
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(key(5)); ok {
+		t.Fatal("failed compute must cache nothing")
+	}
+	// The keys must be retryable (inflight cleared).
+	sts, _, err := c.GetOrComputeBatch([]Key{key(5)}, nil, func(miss []int) ([]*mps.MPS, error) {
+		return []*mps.MPS{zeroState(4)}, nil
+	})
+	if err != nil || sts[0] == nil {
+		t.Fatalf("retry after error: %v", err)
+	}
+	// A compute returning the wrong number of states is an error, not a panic.
+	_, _, err = c.GetOrComputeBatch([]Key{key(7)}, nil, func(miss []int) ([]*mps.MPS, error) {
+		return nil, nil
+	})
+	if err == nil {
+		t.Fatal("short compute result must error")
+	}
+}
+
+// TestGetOrComputeBatchNilCache: with no cache every index is a miss and the
+// batch computes everything, reporting zero hits.
+func TestGetOrComputeBatchNilCache(t *testing.T) {
+	var c *Cache
+	sts, hits, err := c.GetOrComputeBatch([]Key{key(1), key(2)}, nil, func(miss []int) ([]*mps.MPS, error) {
+		if len(miss) != 2 {
+			t.Fatalf("miss = %v", miss)
+		}
+		return []*mps.MPS{zeroState(4), zeroState(4)}, nil
+	})
+	if err != nil || hits != 0 || sts[0] == nil || sts[1] == nil {
+		t.Fatalf("nil cache batch: hits=%d err=%v", hits, err)
 	}
 }
